@@ -1,0 +1,31 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench regenerates one paper artefact (a table or a figure) and
+emits a plain-text report with the paper's numbers next to the
+measured ones.  Reports land in ``benchmarks/reports/<name>.txt`` (and
+on stdout when pytest runs with ``-s``), so ``pytest benchmarks/
+--benchmark-only`` leaves a reviewable trail regardless of output
+capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def emit_report(name: str, text: str) -> Path:
+    """Write (and print) one bench's report."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
+    return path
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Time *fn* exactly once through pytest-benchmark (the experiment
+    drivers are seconds-long; statistical repetition adds nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

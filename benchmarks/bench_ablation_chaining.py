@@ -1,0 +1,65 @@
+"""Ablation A — replica-walk chaining: ``walk`` (continue along the
+ring, Sheepdog-style) vs ``rehash`` (restart at hash(previous server),
+the literal Algorithm 1 reading).
+
+Both satisfy the one-copy-on-primary invariant; this bench compares
+their secondary-load distribution quality and how much data each moves
+across a shrink/grow cycle.
+"""
+
+from repro.core.elastic import ElasticConsistentHash
+from repro.core.reintegration import ReintegrationEngine
+from repro.metrics.distribution import (
+    equal_work_reference,
+    shape_correlation,
+)
+from repro.metrics.report import render_table
+
+from _bench_utils import emit_report, once
+
+OBJECTS = 20_000
+
+
+def profile(chain):
+    ech = ElasticConsistentHash(n=10, replicas=2, chain=chain)
+    counts = ech.blocks_per_rank(range(OBJECTS))
+    ref = equal_work_reference(10, ech.p)
+    corr = shape_correlation({r: float(c) for r, c in counts.items()}, ref)
+
+    # Shrink/grow cycle migration volume.
+    ech2 = ElasticConsistentHash(n=10, replicas=2, chain=chain)
+    ech2.set_active(6)
+    for oid in range(2_000):
+        ech2.record_write(oid)
+    ech2.set_active(10)
+    migrated = ReintegrationEngine(
+        ech2, object_size=lambda o: 1).step().bytes_migrated
+    return counts, corr, migrated
+
+
+def bench_ablation_chaining(benchmark):
+    results = once(benchmark,
+                   lambda: {c: profile(c) for c in ("walk", "rehash")})
+
+    rows = []
+    for chain, (counts, corr, migrated) in results.items():
+        rows.append([
+            chain,
+            round(corr, 4),
+            counts[1] + counts[2],
+            round(max(counts.values()) / (sum(counts.values()) / 10), 2),
+            migrated,
+        ])
+    emit_report("ablation_chaining", render_table(
+        ["chain mode", "equal-work shape corr.",
+         f"primary blocks (of {OBJECTS})", "max/mean load",
+         "replicas moved on 6->10 regrow (of 2000 dirty objects)"],
+        rows,
+        title="Ablation A — walk vs rehash chaining"))
+
+    for chain, (counts, corr, _m) in results.items():
+        assert counts[1] + counts[2] == OBJECTS, chain  # invariant holds
+        assert corr > 0.90, chain
+    # The finding: continuing the walk tracks the equal-work shape
+    # better than restarting at hash(previous server).
+    assert results["walk"][1] >= results["rehash"][1]

@@ -1,0 +1,67 @@
+"""Ablation D — the primary count p.
+
+§III-C picks p = ceil(n/e^2).  Fewer primaries lower the minimum power
+state but concentrate one full data copy on fewer spindles, capping
+write throughput ("the small number of primary servers limits the
+write performance"); more primaries raise the power floor.  This bench
+sweeps p on the paper's 10-server shape and measures both sides of the
+trade-off.
+"""
+
+from repro.core.elastic import ElasticConsistentHash
+from repro.metrics.report import render_table
+from repro.simulation.iomodel import (
+    client_coefficients,
+    replica_load_fractions,
+)
+from repro.simulation.bandwidth import FlowSpec, max_min_fair
+
+from _bench_utils import emit_report, once
+
+DISK_BW = 64e6
+N = 10
+
+
+def write_capacity(ech):
+    """Aggregate client write throughput at full power under the fluid
+    model (one elastic write flow over the measured load fractions)."""
+    fractions = replica_load_fractions(
+        lambda oid: ech.locate(oid).servers, range(4_000))
+    coeffs = client_coefficients(fractions, ech.replicas, 1.0)
+    rate = max_min_fair(
+        [FlowSpec(coefficients=coeffs)],
+        {r: DISK_BW for r in range(1, N + 1)})[0]
+    return rate
+
+
+def profile(p):
+    ech = ElasticConsistentHash(n=N, replicas=2, p=p)
+    return {
+        "min_active": ech.min_active,
+        "min_power_frac": ech.min_active / N,
+        "write_MBps": write_capacity(ech) / 1e6,
+    }
+
+
+def bench_ablation_primary_count(benchmark):
+    results = once(benchmark,
+                   lambda: {p: profile(p) for p in (1, 2, 3, 5, 8)})
+
+    rows = [[p, ("<- paper (ceil(n/e^2))" if p == 2 else ""),
+             r["min_active"], f"{r['min_power_frac'] * 100:.0f}%",
+             round(r["write_MBps"], 1)]
+            for p, r in results.items()]
+    emit_report("ablation_primary_count", render_table(
+        ["p", "", "min active servers", "min power (frac of full)",
+         "full-power write MB/s"],
+        rows,
+        title="Ablation D — primary count: power floor vs write "
+              "capacity (n=10, r=2, 64 MB/s disks)"))
+
+    # The trade-off's endpoints: very few primaries throttle writes
+    # hard, many primaries raise the power floor.  (The middle is not
+    # strictly monotone — the secondary weight curve shifts with p.)
+    caps = {p: results[p]["write_MBps"] for p in (1, 2, 3, 5, 8)}
+    assert caps[8] > caps[1] * 1.5
+    floors = [results[p]["min_active"] for p in (1, 2, 3, 5, 8)]
+    assert floors == sorted(floors)

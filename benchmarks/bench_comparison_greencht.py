@@ -1,0 +1,55 @@
+"""Comparison — GreenCHT-style tiered power-down vs elastic CH.
+
+§VI: "Comparing to GreenCHT, our elastic consistent hashing is able to
+achieve finer granularity of resizing with one server as the smallest
+resizing unit."  GreenCHT (MSST'15) powers whole tiers together, so
+every resize rounds up to a tier boundary.  This bench quantifies the
+granularity cost on both traces.
+"""
+
+from _bench_utils import emit_report, once
+from repro.metrics.report import render_table
+from repro.policy.analysis import config_for_trace
+from repro.policy.resizer import GreenCHTPolicy, simulate_policy
+from repro.workloads.cloudera import generate_cc_a, generate_cc_b
+from repro.experiments.traces import FIGURE_N_MAX
+
+POLICIES = ("original-ch", "greencht", "primary-full",
+            "primary-selective")
+
+
+def analyse(which, generate):
+    trace = generate()
+    cfg = config_for_trace(trace, FIGURE_N_MAX[which])
+    out = {}
+    for name in POLICIES:
+        out[name] = simulate_policy(name, trace, cfg)
+    return cfg, out
+
+
+def bench_comparison_greencht(benchmark):
+    results = once(benchmark,
+                   lambda: {"CC-a": analyse("CC-a", generate_cc_a),
+                            "CC-b": analyse("CC-b", generate_cc_b)})
+
+    rows = []
+    for which, (cfg, res) in results.items():
+        tiers = GreenCHTPolicy(cfg).boundaries
+        for name in POLICIES:
+            rows.append([which, name,
+                         round(res[name].relative_machine_hours, 3),
+                         str(tiers) if name == "greencht" else ""])
+    emit_report("comparison_greencht", render_table(
+        ["trace", "policy", "relative machine hours",
+         "tier boundaries"],
+        rows,
+        title="GreenCHT (4 tiers) vs per-server elastic CH — the "
+              "granularity cost of tier-wise power-down"))
+
+    for which, (cfg, res) in results.items():
+        # The paper's argument: per-server elasticity beats tier
+        # granularity.
+        assert (res["primary-selective"].relative_machine_hours
+                < res["greencht"].relative_machine_hours), which
+        assert (res["primary-full"].relative_machine_hours
+                < res["greencht"].relative_machine_hours), which

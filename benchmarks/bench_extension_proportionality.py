@@ -1,0 +1,56 @@
+"""Extension — measured read-performance proportionality (§III-C).
+
+The paper claims the equal-work layout "allows power proportionality
+and read performance proportionality at the same time" and cites
+Rabbit for the derivation.  This bench *measures* the claim: max-flow
+read capacity at every legal power state, equal-work vs uniform
+weights (both with primary placement so availability is equal), and
+vs a perfectly proportional reference.
+"""
+
+from _bench_utils import emit_report, once
+from repro.core.elastic import ElasticConsistentHash
+from repro.metrics.proportionality import proportionality_curve
+from repro.metrics.report import render_table
+
+BW = 64e6
+PROBE = range(3_000)
+
+
+def run():
+    eq = ElasticConsistentHash(n=10, replicas=2)
+    un = ElasticConsistentHash(n=10, replicas=2, layout_mode="uniform")
+    return {
+        "equal-work": proportionality_curve(eq, BW, PROBE),
+        "uniform": proportionality_curve(un, BW, PROBE),
+    }
+
+
+def bench_extension_proportionality(benchmark):
+    curves = once(benchmark, run)
+
+    full_eq = curves["equal-work"][10]
+    full_un = curves["uniform"][10]
+    rows = []
+    for k in range(2, 11):
+        ideal_eq = full_eq * k / 10
+        rows.append([
+            k,
+            round(curves["equal-work"][k] / 1e6),
+            f"{curves['equal-work'][k] / ideal_eq * 100:.0f}%",
+            round(curves["uniform"][k] / 1e6),
+            f"{curves['uniform'][k] / (full_un * k / 10) * 100:.0f}%",
+        ])
+    emit_report("extension_proportionality", render_table(
+        ["active k", "equal-work MB/s", "% of proportional",
+         "uniform MB/s", "% of proportional"],
+        rows,
+        title="Read capacity vs power state (max-flow measurement; "
+              "§III-C: equal-work is performance-proportional, "
+              "uniform is not)"))
+
+    for k in range(2, 11):
+        ratio = curves["equal-work"][k] / (full_eq * k / 10)
+        assert 0.8 < ratio < 1.25, (k, ratio)
+    # Mid-range, the uniform layout falls well short of proportional.
+    assert curves["uniform"][5] / (full_un * 0.5) < 0.8

@@ -1,0 +1,61 @@
+"""Figure 3 — performance impact of resizing under original CH.
+
+The motivating experiment (§II-C): the 3-phase workload with and
+without resizing, on the unmodified consistent-hashing store.  The
+resizing run turns 4 servers off after phase 1 and back on after
+phase 2; the migration that follows fights the phase-3 foreground and
+depresses throughput — the paper's "significantly affected" window.
+"""
+
+from _bench_utils import emit_report, once
+from repro.experiments import run_three_phase
+from repro.metrics.report import render_series, render_table
+
+MB = 1e6
+
+
+def bench_fig3_resize_impact(benchmark):
+    def run_both():
+        return {
+            "no resizing": run_three_phase("none", scale=1.0),
+            "with resizing": run_three_phase("original", scale=1.0),
+        }
+
+    results = once(benchmark, run_both)
+
+    n = min(len(r.times) for r in results.values())
+    grid = results["no resizing"].times[:n]
+    series = {name: [v / MB for v in r.throughput[:n]]
+              for name, r in results.items()}
+    rows = []
+    for name, r in results.items():
+        p2 = r.phase_ends["phase2"]
+        p3 = r.phase_ends["phase3"]
+        rows.append([
+            name,
+            round(max(r.throughput) / MB, 1),
+            round(r.mean_throughput(p2, p3) / MB, 1),
+            round(r.recovery_time_after(p2), 1),
+            round(r.migrated_bytes / 1e9, 2),
+        ])
+
+    emit_report("fig3_resize_impact", "\n".join([
+        render_table(
+            ["case", "peak MB/s", "mean phase-3 MB/s",
+             "s to 90% of peak after phase 2", "migrated GB"],
+            rows,
+            title="Figure 3 — original CH, with vs without resizing "
+                  "(paper: resizing case dips hard after phase 2)"),
+        "",
+        render_series([round(t) for t in grid[::20]],
+                      {k: v[::20] for k, v in series.items()},
+                      time_label="t(s)",
+                      title="throughput timeline (MB/s, every 20 s)"),
+    ]))
+
+    resized = results["with resizing"]
+    base = results["no resizing"]
+    assert (resized.mean_throughput(resized.phase_ends["phase2"],
+                                    resized.phase_ends["phase3"])
+            < 0.7 * base.mean_throughput(base.phase_ends["phase2"],
+                                         base.phase_ends["phase3"]))

@@ -1,0 +1,46 @@
+"""Figure 5 — the equal-work data layout and the data to re-integrate
+across versions.
+
+Paper scenario: version 1 at 10 active (equal-work curve), version 2
+at 8 active with 50,000 objects written (curve distorted: the two off
+servers are frozen), version 3 back to 10 active (curve restored; the
+shaded area is the migrated data).
+"""
+
+from _bench_utils import emit_report, once
+from repro.experiments import run_layout_versions
+from repro.metrics.distribution import equal_work_reference
+from repro.metrics.report import render_distribution, render_table
+
+
+def bench_fig5_equal_work_layout(benchmark):
+    result = once(benchmark, run_layout_versions,
+                  objects_v1=40_000, objects_v2=50_000)
+
+    sections = []
+    for label, dist in result.distributions.items():
+        sections.append(render_distribution(
+            dist, width=46, title=f"-- {label} (blocks per rank) --"))
+        sections.append("")
+
+    ref = equal_work_reference(result.n, result.p)
+    v1 = result.distributions["version1 (full power)"]
+    total = sum(v1.values())
+    rows = [[r, f"{ref[r] * total:.0f}", v1[r]] for r in sorted(ref)]
+    sections.append(render_table(
+        ["rank", "ideal equal-work blocks", "measured blocks"],
+        rows, title="version 1 vs the ideal curve (paper's red line)"))
+    sections.append("")
+    sections.append(
+        f"shape correlation with ideal : {result.v1_shape_correlation:.4f}")
+    sections.append(
+        f"objects re-integrated in v3  : {result.reintegration_objects} "
+        f"of 50,000 written in v2 (the shaded area)")
+    sections.append(
+        f"bytes re-integrated          : "
+        f"{result.reintegration_bytes / 1e9:.2f} GB")
+
+    emit_report("fig5_equal_work_layout", "\n".join(sections))
+
+    assert result.v1_shape_correlation > 0.99
+    assert 0 < result.reintegration_objects < 50_000

@@ -1,0 +1,65 @@
+"""Figure 7 — the headline evaluation: 3-phase workload under
+"no resizing", "original CH" and "selective" re-integration.
+
+Paper shape: near-identical peaks across cases; the original CH run's
+throughput stays depressed for an extended window after phase 2 (the
+"resize delayed" annotation) while selective re-integration recovers
+almost immediately.  We add the "full" case (the §V-B primary+full
+configuration) for completeness.
+"""
+
+from _bench_utils import emit_report, once
+from repro.experiments import run_three_phase
+from repro.metrics.report import render_series, render_table
+
+MB = 1e6
+MODES = ("none", "original", "full", "selective")
+LABEL = {"none": "no resizing", "original": "original CH",
+         "full": "primary+full", "selective": "selective"}
+
+
+def bench_fig7_three_phase(benchmark):
+    results = once(benchmark,
+                   lambda: {m: run_three_phase(m, scale=1.0)
+                            for m in MODES})
+
+    rows = []
+    for mode in MODES:
+        r = results[mode]
+        p2 = r.phase_ends["phase2"]
+        p3 = r.phase_ends["phase3"]
+        rows.append([
+            LABEL[mode],
+            round(max(r.throughput) / MB, 1),
+            round(r.mean_throughput(p2, p3) / MB, 1),
+            round(r.recovery_time_after(p2), 1),
+            round(r.migrated_bytes / 1e9, 2),
+            round(r.rereplicated_bytes / 1e9, 2),
+        ])
+
+    n = min(len(r.times) for r in results.values())
+    grid = [round(t) for t in results["none"].times[:n:20]]
+    series = {LABEL[m]: [v / MB for v in results[m].throughput[:n:20]]
+              for m in MODES}
+
+    emit_report("fig7_three_phase", "\n".join([
+        render_table(
+            ["case", "peak MB/s", "mean phase-3 MB/s",
+             "s to 90% peak after phase 2", "migrated GB",
+             "re-replicated GB"],
+            rows,
+            title="Figure 7 — 3-phase workload "
+                  "(paper: selective recovers fastest; little peak "
+                  "difference between cases)"),
+        "",
+        render_series(grid, series, time_label="t(s)",
+                      title="throughput timeline (MB/s, every 20 s)"),
+    ]))
+
+    sel, orig = results["selective"], results["original"]
+    t_sel = sel.recovery_time_after(sel.phase_ends["phase2"])
+    t_orig = orig.recovery_time_after(orig.phase_ends["phase2"])
+    assert t_sel < t_orig, "selective must recover before original CH"
+    assert (results["selective"].migrated_bytes
+            < results["full"].migrated_bytes
+            < results["original"].migrated_bytes)

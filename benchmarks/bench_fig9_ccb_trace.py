@@ -1,0 +1,41 @@
+"""Figure 9 — CC-b trace: the same four series on the bigger, heavier
+trace (300 machines, 473 TB over 9 days).
+
+Paper shape: same ordering as CC-a, with larger relative overheads for
+the non-selective policies (CC-b's deep sustained valleys make the
+baseline's shrink lag costlier).
+"""
+
+import numpy as np
+
+from _bench_utils import emit_report, once
+from repro.experiments import run_trace_analysis
+from repro.metrics.report import render_series, render_table
+
+
+def bench_fig9_ccb_trace(benchmark):
+    exp = once(benchmark, run_trace_analysis, "CC-b")
+
+    series = exp.figure_series()
+    minutes = [int(m) for m in exp.window_minutes()]
+    emit_report("fig9_ccb_trace", "\n".join([
+        render_series(minutes[::10],
+                      {k: list(np.asarray(v)[::10])
+                       for k, v in series.items()},
+                      time_label="t(min)",
+                      title="Figure 9 — CC-b: active servers over a "
+                            "250-minute window (every 10 min)"),
+        "",
+        render_table(
+            ["policy", "machine hours", "relative to ideal"],
+            [["ideal", round(exp.analysis.ideal_machine_hours, 1), 1.0]]
+            + [[name, round(res.machine_hours, 1),
+                round(res.relative_machine_hours, 3)]
+               for name, res in exp.analysis.results.items()],
+            title="full-trace machine hours (Table II's CC-b column; "
+                  "paper: 1.51 / 1.37 / 1.33)"),
+    ]))
+
+    rel = exp.table2_row()
+    assert (rel["primary-selective"] < rel["primary-full"]
+            < rel["original-ch"])

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the hot paths (statistical, multi-round).
+
+Not a paper artefact — these guard the implementation's own
+performance: object placement is the operation every IO issues, ring
+construction happens per re-weighting, and the bulk successor lookup
+is the vectorised path the analysis code leans on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.elastic import ElasticConsistentHash
+from repro.core.placement import place_original, place_primary
+from repro.hashring.hashing import bulk_hash
+from repro.hashring.ring import HashRing
+
+
+@pytest.fixture(scope="module")
+def ech():
+    return ElasticConsistentHash(n=10, replicas=2, B=10_000)
+
+
+def bench_primary_placement(benchmark, ech):
+    """Algorithm 1, one object (the per-IO cost)."""
+    counter = iter(range(10**9))
+
+    def place():
+        return ech.locate(next(counter))
+
+    result = benchmark(place)
+    assert len(result.servers) == 2
+
+
+def bench_original_placement(benchmark, ech):
+    counter = iter(range(10**9))
+
+    def place():
+        return place_original(ech.ring, next(counter), 2)
+
+    result = benchmark(place)
+    assert len(result.servers) == 2
+
+
+def bench_ring_construction(benchmark):
+    """Build + sort a 24k-vnode equal-work ring (per re-weighting)."""
+    def build():
+        ring = HashRing()
+        ech = ElasticConsistentHash(n=10, replicas=2, B=10_000)
+        return ech.ring.num_vnodes
+
+    vnodes = benchmark(build)
+    assert vnodes > 20_000
+
+
+def bench_bulk_successor(benchmark, ech):
+    """Vectorised first-successor lookup for 100k keys."""
+    positions = bulk_hash(range(100_000))
+
+    def lookup():
+        return ech.ring.bulk_successor(positions)
+
+    owners = benchmark(lookup)
+    assert owners.shape == (100_000,)
+
+
+def bench_dirty_table_insert(benchmark):
+    """Dirty-entry logging throughput (the §III-E-2 write-path tax)."""
+    from repro.core.dirty_table import DirtyTable
+    table = DirtyTable()
+    counter = iter(range(10**9))
+
+    def insert():
+        table.insert(next(counter), 1)
+
+    benchmark(insert)

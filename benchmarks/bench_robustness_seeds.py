@@ -1,0 +1,44 @@
+"""Robustness — does Table II's conclusion survive trace regeneration?
+
+The CC-a/CC-b stand-ins are synthetic, so any single seed might
+accidentally favour one policy.  This bench regenerates the CC-a trace
+under several seeds and checks that the paper's qualitative claims —
+ordering and regime — hold for every one of them; the report shows the
+spread.
+"""
+
+from _bench_utils import emit_report, once
+from repro.experiments import run_trace_analysis
+from repro.metrics.report import render_table
+
+SEEDS = (11, 23, 47, 89, 131)
+POLICIES = ("original-ch", "primary-full", "primary-selective")
+
+
+def bench_robustness_seeds(benchmark):
+    results = once(benchmark,
+                   lambda: {seed: run_trace_analysis("CC-a", seed=seed)
+                            for seed in SEEDS})
+
+    rows = []
+    for seed, exp in results.items():
+        rel = exp.table2_row()
+        rows.append([seed] + [round(rel[p], 3) for p in POLICIES])
+    spread = {
+        p: (min(r[i + 1] for r in rows), max(r[i + 1] for r in rows))
+        for i, p in enumerate(POLICIES)
+    }
+    lines = [render_table(
+        ["seed"] + list(POLICIES), rows,
+        title="Table II (CC-a) across 5 trace seeds — relative "
+              "machine hours"),
+        "",
+        "range over seeds: " + ", ".join(
+            f"{p} [{lo:.2f}, {hi:.2f}]" for p, (lo, hi) in spread.items())]
+    emit_report("robustness_seeds", "\n".join(lines))
+
+    for seed, exp in results.items():
+        rel = exp.table2_row()
+        assert (rel["primary-selective"] < rel["primary-full"]
+                < rel["original-ch"]), f"ordering broke at seed {seed}"
+        assert all(1.0 <= v < 2.5 for v in rel.values()), seed

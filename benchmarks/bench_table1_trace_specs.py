@@ -1,0 +1,60 @@
+"""Table I — the real-world trace specifications.
+
+The paper publishes four facts per trace; the synthetic generators
+must reproduce the envelope exactly (lengths and bytes processed are
+calibrated, machine counts bound the analysis cluster size) plus the
+qualitative texture §V-B relies on: CC-a resizes more often than CC-b
+at its own scale.
+"""
+
+import numpy as np
+
+from _bench_utils import emit_report, once
+from repro.experiments.traces import FIGURE_N_MAX
+from repro.metrics.report import render_table
+from repro.workloads.cloudera import CC_A, CC_B, generate_cc_a, generate_cc_b
+
+PAPER = {
+    "CC-a": {"machines": "<100", "length": "1 month", "bytes": "69TB"},
+    "CC-b": {"machines": "300", "length": "9 days", "bytes": "473TB"},
+}
+
+
+def bench_table1_trace_specs(benchmark):
+    traces = once(benchmark,
+                  lambda: {"CC-a": generate_cc_a(), "CC-b": generate_cc_b()})
+
+    rows = []
+    rel_freq = {}
+    for spec, trace in ((CC_A, traces["CC-a"]), (CC_B, traces["CC-b"])):
+        st = trace.stats()
+        n_max = FIGURE_N_MAX[spec.name]
+        bw = float(np.percentile(trace.load, 99)) / n_max
+        rel_freq[spec.name] = trace.resizing_frequency(bw) / n_max
+        rows.append([
+            spec.name,
+            PAPER[spec.name]["machines"], spec.machines,
+            PAPER[spec.name]["length"], f"{spec.length_days:g} days",
+            PAPER[spec.name]["bytes"],
+            f"{st['total_bytes'] / 1e12:.1f}TB",
+            f"{st['burstiness']:.1f}x",
+        ])
+
+    emit_report("table1_trace_specs", "\n".join([
+        render_table(
+            ["trace", "machines (paper)", "machines (gen)",
+             "length (paper)", "length (gen)",
+             "bytes (paper)", "bytes (gen)", "peak/mean"],
+            rows,
+            title="Table I — trace specifications, paper vs synthetic"),
+        "",
+        "relative resizing frequency (ideal-step per server per "
+        "minute):",
+        f"  CC-a: {rel_freq['CC-a']:.4f}   CC-b: {rel_freq['CC-b']:.4f}"
+        "   (paper: 'CC-a trace has significantly higher resizing "
+        "frequency')",
+    ]))
+
+    assert abs(traces["CC-a"].total_bytes - 69e12) < 1e3
+    assert abs(traces["CC-b"].total_bytes - 473e12) < 1e3
+    assert rel_freq["CC-a"] > rel_freq["CC-b"]

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""§III-D node capacity configuration: provisioning heterogeneous disk
+sizes for the equal-work layout.
+
+The equal-work layout stores wildly different volumes per rank, so
+uniform disks waste capacity on the tail.  This example builds a
+capacity plan from the paper's tier set, loads a cluster, and compares
+utilisation against a uniform-capacity deployment.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.cluster.cluster import ElasticCluster
+from repro.core.layout import CapacityPlan, EqualWorkLayout
+from repro.metrics.report import render_table
+
+MB4 = 4 * 1024 * 1024
+OBJECTS = 5_000
+
+
+def main() -> None:
+    layout = EqualWorkLayout.create(n=10, replicas=2)
+    data_volume = OBJECTS * MB4 * 2
+
+    # Demo-scale tier set: the same 2TB/1.5TB/1TB/750GB/500GB/320GB
+    # ladder the paper lists (§III-D), scaled down 50x so a 5,000-object
+    # run exercises it.
+    tiers = [int(t / 50) for t in CapacityPlan.DEFAULT_TIERS]
+    plan = CapacityPlan.for_layout(layout, tiers=tiers,
+                                   total_capacity=int(data_volume * 2.5))
+    uniform_capacity = plan.total // layout.n
+
+    cl = ElasticCluster(n=10, replicas=2,
+                        capacities=list(plan.capacities))
+    for oid in range(OBJECTS):
+        cl.write(oid, MB4)
+
+    used = cl.bytes_per_rank()
+    tiered = plan.utilisation(used)
+    rows = []
+    for rank in layout.ranks:
+        rows.append([
+            rank,
+            "primary" if layout.is_primary(rank) else "secondary",
+            f"{used[rank] / 1e9:.1f}",
+            f"{plan.capacity_of(rank) / 1e9:.0f}",
+            f"{tiered[rank] * 100:.0f}%",
+            f"{used[rank] / uniform_capacity * 100:.0f}%",
+        ])
+    print(render_table(
+        ["rank", "role", "stored GB", "tier GB",
+         "tiered utilisation", "if uniform disks"],
+        rows,
+        title="§III-D capacity planning: tiered vs uniform disks "
+              f"({OBJECTS} x 4 MB objects, 2-way)"))
+
+    spread_tiered = (max(tiered.values()) - min(tiered.values()))
+    uniform = {r: used[r] / uniform_capacity for r in layout.ranks}
+    spread_uniform = (max(uniform.values()) - min(uniform.values()))
+    print(f"\nutilisation spread (max - min): tiered "
+          f"{spread_tiered * 100:.0f} points vs uniform "
+          f"{spread_uniform * 100:.0f} points — the paper's 'few "
+          "capacity configurations' close most of the gap.")
+
+
+if __name__ == "__main__":
+    main()

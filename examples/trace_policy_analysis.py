@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The §V-B trace analysis: synthesize a Cloudera-style trace, run the
+four resizing policies, and print the Figure 8/9 curves and Table II
+row.
+
+Run:  python examples/trace_policy_analysis.py [CC-a|CC-b]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments import run_trace_analysis
+from repro.metrics.report import render_table
+
+
+def ascii_curves(series, n_max, width=68, rows=12):
+    """Plot the four server-count curves as stacked ASCII strips."""
+    out = []
+    for name, values in series.items():
+        step = max(1, len(values) // width)
+        strip = []
+        for i in range(0, len(values), step):
+            v = max(values[i:i + step])
+            strip.append(str(min(9, int(v / n_max * 10))))
+        out.append(f"  {name:>18} |{''.join(strip)}|")
+    out.append(f"  {'':>18}  (digits = active servers in tenths of "
+               f"n_max={n_max})")
+    return "\n".join(out)
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "CC-a"
+    exp = run_trace_analysis(which)
+    trace = exp.trace
+    cfg = exp.analysis.config
+
+    print(f"trace {which}: {trace.stats()['total_bytes'] / 1e12:.0f} TB "
+          f"over {exp.spec.length_days:g} days, "
+          f"analysed on an n={cfg.n_max} cluster "
+          f"(p={cfg.p} primaries)\n")
+
+    print("figure window (250 minutes):")
+    print(ascii_curves(exp.figure_series(), cfg.n_max))
+    print()
+
+    rows = [["ideal", round(exp.analysis.ideal_machine_hours, 1), 1.0]]
+    for name, res in exp.analysis.results.items():
+        rows.append([name, round(res.machine_hours, 1),
+                     round(res.relative_machine_hours, 3)])
+    print(render_table(["policy", "machine hours", "relative to ideal"],
+                       rows, title="Table II row"))
+    print()
+    savings = exp.analysis.savings_vs_original()
+    for name, frac in savings.items():
+        print(f"{name} saves {100 * frac:.1f}% machine hours vs "
+              "original CH")
+
+
+if __name__ == "__main__":
+    main()

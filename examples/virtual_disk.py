@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The Sheepdog data model end to end: a VM's virtual disk on the
+elastic cluster.
+
+The paper's testbed attaches a 100 GB virtual disk image (VDI) to a
+KVM guest (§V-A); Filebench's byte-level IO then lands on 4 MB objects
+placed by elastic consistent hashing.  This example carves a (scaled)
+VDI, does guest-style IO, resizes the cluster underneath the running
+"VM", and shows that the disk never skips a beat.
+
+Run:  python examples/virtual_disk.py
+"""
+
+from repro.cluster.cluster import ElasticCluster
+from repro.cluster.vdi import VirtualDisk
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+def main() -> None:
+    cluster = ElasticCluster(n=10, replicas=2)
+    disk = VirtualDisk("kvm-guest", size_bytes=2 * GB, cluster=cluster)
+    print(disk.describe())
+    print()
+
+    # Guest formats a filesystem: scattered metadata writes.
+    for off in range(0, 2 * GB, 128 * MB):
+        disk.write(off, 4096)
+    print(f"after 'mkfs' (4 KiB writes every 128 MiB): "
+          f"{disk.allocated_chunks} chunks allocated, "
+          f"{cluster.total_stored_bytes() / 1e9:.2f} GB stored "
+          f"(write amplification "
+          f"{disk.write_amplification(0, 4096):.0f}x for 4 KiB)")
+
+    # Guest writes a large file sequentially.
+    disk.write(256 * MB, 512 * MB)
+    print(f"after a 512 MiB sequential write: "
+          f"{disk.allocated_chunks} chunks, "
+          f"{cluster.total_stored_bytes() / 1e9:.2f} GB stored")
+    print()
+
+    # Ops shrinks the cluster under the running VM.
+    cluster.resize(4)
+    ok = all(avail for _r, avail in disk.read(256 * MB, 512 * MB))
+    print(f"cluster resized 10 -> 4 under the VM; file readable: {ok}")
+
+    # Guest keeps writing while shrunk: offloaded + dirty-tracked.
+    disk.write(1 * GB, 128 * MB)
+    print(f"guest wrote 128 MiB while shrunk -> "
+          f"{len(cluster.ech.dirty)} dirty entries")
+
+    # Back to full power; re-integrate.
+    cluster.resize(10)
+    report = cluster.run_selective_reintegration()
+    print(f"regrown to 10; selective re-integration moved "
+          f"{report.bytes_migrated / 1e6:.0f} MB and cleared "
+          f"{report.entries_removed} entries")
+    ok = all(avail for _r, avail in disk.read(0, 2 * GB))
+    print(f"whole disk readable: {ok}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — reproduction of *Elastic Consistent Hashing for Distributed
+Storage Systems* (Wei Xie & Yong Chen, IPDPS 2017).
+
+Public API tour
+---------------
+:class:`repro.core.ElasticConsistentHash`
+    The paper's contribution: primary-server placement on an equal-work
+    ring with membership versioning and dirty tracking.
+:class:`repro.core.ReintegrationEngine`
+    Selective data re-integration (Algorithm 2).
+:class:`repro.cluster.ElasticCluster`
+    A Sheepdog-like object-storage cluster driving the algorithm, with
+    simulated servers, recovery and migration.
+:mod:`repro.simulation`
+    Discrete-event engine + fair-share bandwidth model (the testbed
+    substitute).
+:mod:`repro.workloads`
+    The 3-phase Filebench-like benchmark and synthetic Cloudera-style
+    traces.
+:mod:`repro.policy`
+    Trace-driven elasticity analysis producing the paper's Figures 8/9
+    and Table II.
+
+See DESIGN.md for the full system inventory and the per-experiment
+index, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import (
+    ElasticConsistentHash,
+    EqualWorkLayout,
+    ReintegrationEngine,
+    DirtyTable,
+    MembershipTable,
+    VersionHistory,
+    PlacementResult,
+    place_original,
+    place_primary,
+    primary_count,
+    equal_work_weights,
+)
+from repro.hashring import HashRing
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ElasticConsistentHash",
+    "EqualWorkLayout",
+    "ReintegrationEngine",
+    "DirtyTable",
+    "MembershipTable",
+    "VersionHistory",
+    "PlacementResult",
+    "place_original",
+    "place_primary",
+    "primary_count",
+    "equal_work_weights",
+    "HashRing",
+    "__version__",
+]

@@ -1,0 +1,188 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+::
+
+    python -m repro info --n 10 --replicas 2
+    python -m repro layout --n 10 --B 10000
+    python -m repro agility
+    python -m repro three-phase --mode selective --scale 0.5
+    python -m repro fig5
+    python -m repro trace --which CC-a
+
+Each subcommand prints the same report the corresponding benchmark
+emits; heavy runs expose their scale/size knobs so a laptop shell can
+finish in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.elastic import ElasticConsistentHash
+from repro.core.layout import CapacityPlan, EqualWorkLayout
+from repro.experiments import (
+    run_layout_versions,
+    run_resize_agility,
+    run_three_phase,
+    run_trace_analysis,
+)
+from repro.metrics.report import (
+    render_distribution,
+    render_series,
+    render_table,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Elastic Consistent Hashing (IPDPS 2017) — "
+                    "reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="cluster configuration summary")
+    p.add_argument("--n", type=int, default=10)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--B", type=int, default=10_000)
+
+    p = sub.add_parser("layout", help="equal-work weights + capacity plan")
+    p.add_argument("--n", type=int, default=10)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--B", type=int, default=10_000)
+    p.add_argument("--objects", type=int, default=20_000,
+                   help="objects to place for the measured distribution")
+
+    p = sub.add_parser("agility", help="Figure 2: resize agility")
+    p.add_argument("--objects", type=int, default=2_000)
+
+    p = sub.add_parser("three-phase",
+                       help="Figures 3/7: the 3-phase workload")
+    p.add_argument("--mode", default="selective",
+                   choices=["none", "original", "full", "selective"])
+    p.add_argument("--scale", type=float, default=0.5)
+
+    p = sub.add_parser("fig5", help="Figure 5: layout across versions")
+    p.add_argument("--objects-v1", type=int, default=20_000)
+    p.add_argument("--objects-v2", type=int, default=25_000)
+
+    p = sub.add_parser("trace", help="Figures 8/9 + Table II")
+    p.add_argument("--which", default="CC-a", choices=["CC-a", "CC-b"])
+    p.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+def _cmd_info(args) -> int:
+    ech = ElasticConsistentHash(n=args.n, replicas=args.replicas, B=args.B)
+    print(ech.describe())
+    print(f"primary ranks : 1..{ech.p}")
+    print(f"minimum power : {ech.min_active}/{ech.n} servers "
+          f"({100 * ech.min_active / ech.n:.0f}%)")
+    print(f"ring vnodes   : {ech.ring.num_vnodes}")
+    return 0
+
+
+def _cmd_layout(args) -> int:
+    layout = EqualWorkLayout.create(args.n, args.replicas, args.B)
+    ech = ElasticConsistentHash(n=args.n, replicas=args.replicas, B=args.B)
+    counts = ech.blocks_per_rank(range(args.objects))
+    print(render_table(
+        ["rank", "role", "vnodes (weight)", f"blocks of {args.objects}"],
+        [[r, "primary" if layout.is_primary(r) else "secondary",
+          layout.weight_of(r), counts[r]] for r in layout.ranks],
+        title="equal-work layout (§III-C)"))
+    print()
+    print(render_distribution(counts, width=40,
+                              title="measured block distribution"))
+    plan = CapacityPlan.for_layout(layout)
+    print()
+    print("capacity tiers (§III-D): "
+          + ", ".join(f"rank {r}: {plan.capacity_of(r) / 1e12:.2f} TB"
+                      for r in layout.ranks))
+    return 0
+
+
+def _cmd_agility(args) -> int:
+    result = run_resize_agility(objects=args.objects)
+    grid = list(range(0, int(result.duration) + 1, 15))
+    print(render_series(
+        grid,
+        {"ideal": list(result.ideal.sample(grid)),
+         "original CH": list(result.original_ch.sample(grid)),
+         "elastic CH": list(result.elastic.sample(grid))},
+        time_label="t(s)",
+        title="Figure 2 — active servers vs time"))
+    print(f"\nshrink lag: original {result.lag_seconds():.0f} "
+          f"server-s, elastic {result.elastic_lag_seconds():.0f} server-s")
+    return 0
+
+
+def _cmd_three_phase(args) -> int:
+    r = run_three_phase(args.mode, scale=args.scale)
+    p2 = r.phase_ends["phase2"]
+    print(f"mode={args.mode} scale={args.scale}")
+    print(f"phase ends: { {k: round(v) for k, v in r.phase_ends.items()} }")
+    print(f"peak throughput      : {max(r.throughput) / 1e6:.1f} MB/s")
+    print(f"mean phase-3         : "
+          f"{r.mean_throughput(p2, r.phase_ends['phase3']) / 1e6:.1f} MB/s")
+    print(f"recovery after p2    : {r.recovery_time_after(p2):.1f} s")
+    print(f"migrated             : {r.migrated_bytes / 1e9:.2f} GB")
+    print(f"re-replicated        : {r.rereplicated_bytes / 1e9:.2f} GB")
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    res = run_layout_versions(objects_v1=args.objects_v1,
+                              objects_v2=args.objects_v2)
+    for label, dist in res.distributions.items():
+        print(render_distribution(dist, width=40, title=f"-- {label} --"))
+        print()
+    print(f"re-integrated {res.reintegration_objects} objects "
+          f"({res.reintegration_bytes / 1e9:.2f} GB); "
+          f"v1 shape correlation {res.v1_shape_correlation:.4f}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    exp = run_trace_analysis(args.which, seed=args.seed)
+    series = exp.figure_series()
+    minutes = [int(m) for m in exp.window_minutes()]
+    print(render_series(
+        minutes[::10],
+        {k: list(np.asarray(v)[::10]) for k, v in series.items()},
+        time_label="t(min)",
+        title=f"{args.which}: active servers (250-minute window)"))
+    print()
+    rows = [["ideal", round(exp.analysis.ideal_machine_hours, 1), 1.0]]
+    for name, res in exp.analysis.results.items():
+        rows.append([name, round(res.machine_hours, 1),
+                     round(res.relative_machine_hours, 3)])
+    print(render_table(["policy", "machine hours", "relative to ideal"],
+                       rows, title="Table II row"))
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "layout": _cmd_layout,
+    "agility": _cmd_agility,
+    "three-phase": _cmd_three_phase,
+    "fig5": _cmd_fig5,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

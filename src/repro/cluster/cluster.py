@@ -1,0 +1,557 @@
+"""Cluster models: the elastic system and the original-CH baseline.
+
+Both clusters store real (simulated) replica maps on their servers, so
+every migration/recovery volume the benches report is *measured* from
+the maps, not estimated from expectations.
+
+:class:`ElasticCluster` composes the paper's full design —
+:class:`~repro.core.elastic.ElasticConsistentHash` placement, write
+offloading with dirty tracking, instant power-state resizing, and full
+or selective re-integration.
+
+:class:`OriginalCHCluster` is the §II-C baseline: uniform vnode
+weights, no roles, and servers *leave the ring* when turned down.
+Removing a server therefore requires re-replicating every replica it
+held before the next removal can proceed (that is Figure 2's lag), and
+re-adding a server migrates everything the new layout maps onto it
+(that is Figure 3's throughput dip).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.elastic import ElasticConsistentHash
+from repro.core.placement import ChainMode, PlacementResult, place_original
+from repro.core.reintegration import (
+    MigrationTask,
+    ReintegrationEngine,
+    ReintegrationReport,
+)
+from repro.cluster.objects import DEFAULT_OBJECT_SIZE, ObjectCatalog
+from repro.cluster.server import StorageServer
+from repro.hashring.ring import HashRing
+
+__all__ = ["ElasticCluster", "OriginalCHCluster"]
+
+
+class _ClusterBase:
+    """Shared plumbing: server map, catalog, distribution accounting."""
+
+    def __init__(self, n: int, replicas: int,
+                 capacities: Optional[Sequence[Optional[int]]] = None,
+                 disk_bandwidth: float = 100e6) -> None:
+        if n < replicas:
+            raise ValueError("cluster smaller than replication factor")
+        self.replicas = replicas
+        self.servers: Dict[int, StorageServer] = {
+            rank: StorageServer(
+                rank,
+                capacity_bytes=(capacities[rank - 1]
+                                if capacities is not None else None),
+                disk_bandwidth=disk_bandwidth,
+            )
+            for rank in range(1, n + 1)
+        }
+        self.catalog = ObjectCatalog()
+
+    @property
+    def n(self) -> int:
+        return len(self.servers)
+
+    def stored_locations(self, oid: int) -> Tuple[int, ...]:
+        """Ranks physically holding a replica of *oid* (any power
+        state)."""
+        return tuple(rank for rank, srv in self.servers.items()
+                     if srv.has_replica(oid))
+
+    def bytes_per_rank(self) -> Dict[int, int]:
+        """Physical bytes per rank — Figure 5's y-axis."""
+        return {rank: srv.used_bytes for rank, srv in self.servers.items()}
+
+    def replicas_per_rank(self) -> Dict[int, int]:
+        return {rank: srv.num_replicas for rank, srv in self.servers.items()}
+
+    def total_stored_bytes(self) -> int:
+        return sum(srv.used_bytes for srv in self.servers.values())
+
+    def _store(self, oid: int, size: int, ranks: Sequence[int]) -> None:
+        for rank in ranks:
+            self.servers[rank].store_replica(oid, size)
+
+    def _drop_surplus(self, oid: int, keep: Sequence[int]) -> int:
+        """Drop replicas from every server not in *keep*; returns bytes
+        reclaimed."""
+        keep_set = set(keep)
+        freed = 0
+        for rank, srv in self.servers.items():
+            if rank not in keep_set and srv.has_replica(oid):
+                freed += srv.drop_replica(oid)
+        return freed
+
+    def verify_replication(self, require_active: bool = False) -> List[int]:
+        """OIDs stored on fewer than r servers (optionally counting
+        only powered-on holders) — the availability check behind the
+        §II-C argument.  Empty list == healthy."""
+        bad: List[int] = []
+        for obj in self.catalog:
+            holders = [rank for rank in self.stored_locations(obj.oid)
+                       if not require_active or self.servers[rank].is_on]
+            if len(holders) < self.replicas:
+                bad.append(obj.oid)
+        return bad
+
+
+class ElasticCluster(_ClusterBase):
+    """The paper's elastic consistent-hashing storage cluster.
+
+    Parameters
+    ----------
+    n, replicas, B, p, chain:
+        Forwarded to :class:`~repro.core.elastic.ElasticConsistentHash`.
+    capacities:
+        Optional per-rank capacity bytes (index 0 -> rank 1), e.g. from
+        :class:`~repro.core.layout.CapacityPlan`.
+    disk_bandwidth:
+        Per-server disk throughput for the simulator's IO model.
+
+    Examples
+    --------
+    >>> cl = ElasticCluster(n=10, replicas=2)
+    >>> cl.write(42)                        # doctest: +ELLIPSIS
+    PlacementResult(...)
+    >>> cl.resize(6)                        # instant: no clean-up work
+    >>> cl.write(43)                        # offloaded + dirty-tracked
+    PlacementResult(...)
+    >>> cl.resize(10)
+    >>> report = cl.run_selective_reintegration()
+    >>> cl.ech.dirty.is_empty()
+    True
+    """
+
+    def __init__(
+        self,
+        n: int,
+        replicas: int = 2,
+        B: int = 10_000,
+        p: Optional[int] = None,
+        chain: ChainMode = "walk",
+        layout_mode: str = "equal-work",
+        placement_mode: str = "primary",
+        capacities: Optional[Sequence[Optional[int]]] = None,
+        disk_bandwidth: float = 100e6,
+    ) -> None:
+        super().__init__(n, replicas, capacities, disk_bandwidth)
+        self.ech = ElasticConsistentHash(n=n, replicas=replicas, B=B, p=p,
+                                         chain=chain,
+                                         layout_mode=layout_mode,
+                                         placement_mode=placement_mode)
+        self._engine = ReintegrationEngine(
+            self.ech,
+            object_size=self._object_size,
+            on_migrate=self.apply_migration,
+        )
+        #: Cumulative migration traffic in bytes, by kind.
+        self.migrated_bytes = {"selective": 0, "full": 0}
+        #: Ranks powered on since the last re-integration pass.  The
+        #: "full" path cannot tell which of their contents are stale —
+        #: it does not consult the dirty table — so it re-copies
+        #: everything mapping onto them (§II-C's over-migration).  The
+        #: selective path verifies via the dirty table instead and
+        #: clears this set for free.
+        self.unverified_ranks: set = set()
+
+    def _object_size(self, oid: int) -> int:
+        obj = self.catalog.get(oid)
+        return obj.size if obj is not None else DEFAULT_OBJECT_SIZE
+
+    # ------------------------------------------------------------------
+    # power / membership
+    # ------------------------------------------------------------------
+    @property
+    def num_active(self) -> int:
+        return self.ech.num_active
+
+    @property
+    def min_active(self) -> int:
+        return self.ech.min_active
+
+    @property
+    def current_version(self) -> int:
+        return self.ech.current_version
+
+    def resize(self, k: int) -> None:
+        """Resize to *k* active servers along the expansion chain —
+        **instant**, the point of the primary-server design: shrinking
+        needs no clean-up work because the primaries always hold a full
+        copy, and growing needs no migration before serving."""
+        table = self.ech.set_active(k)
+        for rank, srv in self.servers.items():
+            if table.is_active(rank):
+                if not srv.is_on:
+                    self.unverified_ranks.add(rank)
+                srv.power_on()
+            else:
+                srv.power_off()
+                self.unverified_ranks.discard(rank)
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def fail_server(self, rank: int) -> int:
+        """An unexpected crash: the server's replicas are *lost* (the
+        difference from :meth:`resize`'s power-down, which keeps data
+        on disk).  A new version excludes the rank; every lost replica
+        is re-replicated from a surviving copy to the placement under
+        the new version.  Affected objects are dirty-tracked, so when
+        the rank is repaired and re-activated, ordinary selective
+        re-integration restores the layout.
+
+        Returns the bytes re-replicated.  Raises ``RuntimeError`` if
+        any object had *all* its replicas on the failed server
+        (irrecoverable with this replication factor).
+        """
+        srv = self.servers[rank]
+        lost = {oid: srv.replica_size(oid) for oid in srv.replicas()}
+        # Crash: the replica map is gone.
+        for oid in list(lost):
+            srv.drop_replica(oid)
+        srv.power_off()
+        self.ech.mark_failed(rank)
+        self.unverified_ranks.discard(rank)
+
+        moved = 0
+        curr = self.ech.current_version
+        active = self.ech.membership.active_ranks()
+        for oid, size in lost.items():
+            survivors = self.stored_locations(oid)
+            if not survivors:
+                raise RuntimeError(
+                    f"object {oid} lost every replica in the crash of "
+                    f"rank {rank}")
+            try:
+                target = self.ech.locate(oid, curr).servers
+            except LookupError:
+                # Fewer active servers than replicas: degraded mode —
+                # keep as many copies alive as there are servers.
+                target = tuple(active)
+            for r in target:
+                if not self.servers[r].has_replica(oid):
+                    self.servers[r].store_replica(oid, size)
+                    moved += size
+            # The replicas now live at the current version's placement;
+            # surplus copies elsewhere (e.g. parked by an earlier
+            # partial re-integration) are stale relative to it and
+            # must go, or the location-version chain breaks.
+            self._drop_surplus(oid, target)
+            self.ech.location_version[oid] = curr
+            obj = self.catalog.get(oid)
+            if obj is not None and not self.ech.is_full_power:
+                obj.dirty = True
+                self.ech.dirty.insert(oid, curr)
+        return moved
+
+    def repair_server(self, rank: int) -> None:
+        """The crashed server returns, empty.  It rejoins the expansion
+        chain powered-off; a subsequent :meth:`resize` (plus selective
+        re-integration) brings it back into the layout."""
+        self.ech.mark_repaired(rank)
+        # It rejoined empty: until re-integration verifies it, the full
+        # path must treat its contents as unknown.
+        self.unverified_ranks.discard(rank)
+
+    # ------------------------------------------------------------------
+    # IO path
+    # ------------------------------------------------------------------
+    def write(self, oid: int, size: int = DEFAULT_OBJECT_SIZE
+              ) -> PlacementResult:
+        """Write/overwrite an object in the current version.
+
+        Replicas land on the Algorithm-1 placement; when the cluster is
+        not at full power the write is dirty-tracked for later
+        re-integration.  Stale replicas from an earlier placement of
+        the same object are dropped.
+        """
+        placement = self.ech.record_write(oid)
+        dirty = not self.ech.is_full_power
+        self.catalog.create_or_touch(oid, size, self.ech.current_version,
+                                     dirty)
+        self._store(oid, size, placement.servers)
+        self._drop_surplus(oid, placement.servers)
+        return placement
+
+    def read(self, oid: int) -> Tuple[Tuple[int, ...], bool]:
+        """Locate the newest replicas of *oid*.
+
+        Returns ``(servers, available)`` where *servers* is the
+        placement under the object's last-written version and
+        *available* is True when at least one replica is on a powered-
+        on server — with the primary design this is always True while
+        the primaries are up.
+        """
+        obj = self.catalog.get(oid)
+        if obj is None:
+            raise KeyError(f"unknown object: {oid}")
+        try:
+            servers = self.ech.locate_current_replicas(oid).servers
+        except LookupError:
+            # Degraded membership (fewer active servers than r, e.g.
+            # after a crash at minimum power): serve from wherever the
+            # replicas physically are.
+            servers = self.stored_locations(oid)
+        available = any(self.servers[s].is_on for s in servers)
+        return servers, available
+
+    # ------------------------------------------------------------------
+    # re-integration
+    # ------------------------------------------------------------------
+    def apply_migration(self, task: MigrationTask) -> None:
+        """Physically execute one migration task against the replica
+        maps (receives first, then drops — never dips below r)."""
+        size = self._object_size(task.oid)
+        for rank in task.moved_to:
+            self.servers[rank].store_replica(task.oid, size)
+        for rank in task.dropped_from:
+            self.servers[rank].drop_replica(task.oid)
+
+    def run_selective_reintegration(
+        self, budget_bytes: Optional[int] = None,
+    ) -> ReintegrationReport:
+        """One Algorithm-2 pass (optionally byte-budgeted, the rate-
+        limit hook).  Clears catalog dirty bits for objects whose last
+        dirty entry was consumed."""
+        report = self._engine.step(budget_bytes=budget_bytes)
+        self.migrated_bytes["selective"] += report.bytes_migrated
+        for entry in report.removed:
+            if not self.ech.dirty.contains_oid(entry.oid):
+                obj = self.catalog.get(entry.oid)
+                if obj is not None:
+                    obj.dirty = False
+        if report.caught_up:
+            # The dirty table has been reconciled against the current
+            # version: re-powered servers hold exactly what the layout
+            # expects of them, no blanket re-copy needed.
+            self.unverified_ranks.clear()
+        return report
+
+    def selective_backlog_bytes(self) -> int:
+        """Bytes the selective engine would move right now."""
+        return self._engine.total_pending_bytes()
+
+    def run_full_reintegration(self) -> int:
+        """The "primary+full" re-integration (§V-B): restore the layout
+        for the just-re-powered servers without consulting the dirty
+        table.
+
+        Re-integration is triggered by server *additions* (§III-E:
+        "data re-integration means the data migration when servers are
+        re-integrated to a cluster"), so only objects whose current
+        placement touches an unverified (newly powered-on) rank are
+        processed — sizing down must stay clean-up-free.  For those
+        objects, because this path cannot tell which replicas on the
+        re-added servers are stale, it re-copies **every** replica the
+        placement maps onto them — §II-C's over-migration ("consistent
+        hashing assumes that the added servers are empty") — plus any
+        replica a server genuinely lacks, then drops surplus copies.
+
+        Returns bytes migrated (including the redundant re-copies:
+        they cost real IO bandwidth even when the payload is already
+        in place).
+        """
+        moved = 0
+        curr = self.ech.current_version
+        full_power = self.ech.is_full_power
+        for obj in self.catalog:
+            target = self.ech.locate(obj.oid, curr).servers
+            if not any(r in self.unverified_ranks for r in target):
+                continue
+            stored = set(self.stored_locations(obj.oid))
+            to_copy = [r for r in target
+                       if r not in stored or r in self.unverified_ranks]
+            if to_copy:
+                self._store(obj.oid, obj.size, to_copy)
+                moved += obj.size * len(to_copy)
+            self._drop_surplus(obj.oid, target)
+            obj.version = curr
+            self.ech.location_version[obj.oid] = curr
+            if not full_power:
+                # An object relocated below full power deviates from
+                # the full-power layout — §III-E-2's definition of
+                # dirty.  Recording it keeps a later *selective* pass
+                # able to finish the job (full and selective modes
+                # compose).
+                obj.dirty = True
+                self.ech.dirty.insert(obj.oid, curr)
+        if self.ech.is_full_power:
+            for obj in self.catalog:
+                obj.dirty = False
+                self.ech.last_written[obj.oid] = max(
+                    self.ech.last_written.get(obj.oid, 0), curr)
+            self.ech.dirty.clear()
+        self.unverified_ranks.clear()
+        self.migrated_bytes["full"] += moved
+        return moved
+
+    def full_reintegration_bytes(self) -> int:
+        """Volume :meth:`run_full_reintegration` would move, without
+        moving it — used by the policy analyser."""
+        curr = self.ech.current_version
+        total = 0
+        for obj in self.catalog:
+            target = self.ech.locate(obj.oid, curr).servers
+            if not any(r in self.unverified_ranks for r in target):
+                continue
+            stored = set(self.stored_locations(obj.oid))
+            total += obj.size * sum(
+                1 for r in target
+                if r not in stored or r in self.unverified_ranks)
+        return total
+
+    # ------------------------------------------------------------------
+    # dynamic primary count (SpringFS-style extension)
+    # ------------------------------------------------------------------
+    def set_primary_count(self, new_p: int) -> int:
+        """Re-layout to *new_p* primaries and migrate the data the new
+        equal-work curve demands.  Only legal in a quiescent state
+        (full power, dirty table empty) — see
+        :mod:`repro.core.dynamic_primaries`.
+
+        Returns bytes migrated.
+        """
+        from repro.core.dynamic_primaries import apply_relayout
+        apply_relayout(self.ech, new_p)
+        moved = 0
+        curr = self.ech.current_version
+        for obj in self.catalog:
+            target = self.ech.locate(obj.oid, curr).servers
+            stored = set(self.stored_locations(obj.oid))
+            to_add = [r for r in target if r not in stored]
+            if to_add:
+                self._store(obj.oid, obj.size, to_add)
+                moved += obj.size * len(to_add)
+            self._drop_surplus(obj.oid, target)
+            obj.version = curr
+            self.ech.location_version[obj.oid] = curr
+        self.migrated_bytes["full"] += moved
+        return moved
+
+    def describe(self) -> str:
+        return (f"ElasticCluster({self.ech.describe()}, "
+                f"objects={len(self.catalog)}, "
+                f"stored={self.total_stored_bytes()}B)")
+
+
+class OriginalCHCluster(_ClusterBase):
+    """The unmodified consistent-hashing baseline (Sheepdog semantics).
+
+    Uniform vnode weights, no server roles.  Membership changes mutate
+    the ring itself:
+
+    * :meth:`remove_server` re-replicates the departing server's data
+      *first* (returning the volume, which gates how fast the caller
+      may shrink — Figure 2), then drops the server from the ring;
+    * :meth:`add_server` re-inserts the server **empty** and returns
+      the migration volume consistent hashing will pull onto it
+      (Figure 3's dip).
+    """
+
+    def __init__(self, n: int, replicas: int = 2,
+                 vnodes_per_server: int = 1_000,
+                 capacities: Optional[Sequence[Optional[int]]] = None,
+                 disk_bandwidth: float = 100e6) -> None:
+        super().__init__(n, replicas, capacities, disk_bandwidth)
+        self.ring = HashRing()
+        self.vnodes_per_server = vnodes_per_server
+        for rank in self.servers:
+            self.ring.add_server(rank, weight=vnodes_per_server)
+        self.rereplicated_bytes = 0
+        self.migrated_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.ring.servers))
+
+    @property
+    def num_active(self) -> int:
+        return len(self.ring)
+
+    def placement(self, oid: int) -> PlacementResult:
+        return place_original(self.ring, oid, self.replicas)
+
+    def write(self, oid: int, size: int = DEFAULT_OBJECT_SIZE
+              ) -> PlacementResult:
+        placement = self.placement(oid)
+        self.catalog.create_or_touch(oid, size, version=1, dirty=False)
+        self._store(oid, size, placement.servers)
+        self._drop_surplus(oid, placement.servers)
+        return placement
+
+    def read(self, oid: int) -> Tuple[Tuple[int, ...], bool]:
+        obj = self.catalog.get(oid)
+        if obj is None:
+            raise KeyError(f"unknown object: {oid}")
+        servers = self.placement(oid).servers
+        available = any(self.servers[s].has_replica(oid) for s in servers)
+        return servers, available
+
+    # ------------------------------------------------------------------
+    def remove_server(self, rank: int) -> int:
+        """Power a server down, baseline-style: every replica it holds
+        is first re-replicated to its successor placement, then the
+        server leaves the ring.  Returns the bytes re-replicated —
+        the "clean-up work" the elastic design eliminates.
+        """
+        if rank not in self.ring:
+            raise KeyError(f"server {rank} not a member")
+        if len(self.ring) - 1 < self.replicas:
+            raise RuntimeError("removal would break replication level")
+        victims = list(self.servers[rank].replicas())
+        self.ring.remove_server(rank)
+        moved = 0
+        for oid in victims:
+            size = self.servers[rank].replica_size(oid)
+            target = self.placement(oid).servers
+            for r in target:
+                if not self.servers[r].has_replica(oid):
+                    self.servers[r].store_replica(oid, size)
+                    moved += size
+            self.servers[rank].drop_replica(oid)
+        self.servers[rank].power_off()
+        self.rereplicated_bytes += moved
+        return moved
+
+    def add_server(self, rank: int) -> int:
+        """Re-add a server (empty — the baseline discarded its data on
+        departure) and migrate everything the new ring maps onto it.
+        Returns the bytes migrated."""
+        if rank in self.ring:
+            raise KeyError(f"server {rank} already a member")
+        self.servers[rank].power_on()
+        self.ring.add_server(rank, weight=self.vnodes_per_server)
+        moved = 0
+        for obj in self.catalog:
+            target = self.placement(obj.oid).servers
+            stored = set(self.stored_locations(obj.oid))
+            for r in target:
+                if r not in stored:
+                    self.servers[r].store_replica(obj.oid, obj.size)
+                    moved += obj.size
+            self._drop_surplus(obj.oid, target)
+        self.migrated_bytes += moved
+        return moved
+
+    def addition_migration_bytes(self, rank: int) -> int:
+        """Volume :meth:`add_server` would migrate, without doing it."""
+        if rank in self.ring:
+            raise KeyError(f"server {rank} already a member")
+        self.ring.add_server(rank, weight=self.vnodes_per_server)
+        try:
+            total = 0
+            for obj in self.catalog:
+                target = self.placement(obj.oid).servers
+                stored = set(self.stored_locations(obj.oid))
+                total += obj.size * sum(1 for r in target if r not in stored)
+            return total
+        finally:
+            self.ring.remove_server(rank)

@@ -1,0 +1,174 @@
+"""Dirty-data tracking (§III-E-2, Figure 6).
+
+An object is *dirty* when it was written while the cluster was not at
+full power: some replica targets may have been skipped (offloaded), so
+the object may need re-integration when servers come back.  The dirty
+table records ``(OID, version)`` pairs — the version is the epoch the
+object was **last written** in — and is consumed FIFO by Algorithm 2,
+"version ascending and OID ascending if the version is the same".
+
+As in the paper's implementation (§IV), the table lives in a Redis-like
+key-value store as LIST values: entries enter with RPUSH, are peeked
+with LRANGE during non-full-power re-integration, and are removed with
+LPOP/LREM once re-integrated into a full-power version.  The store is
+sharded across servers (§III-E-2) by hashing the OID, so each shard's
+list stays version-sorted automatically (versions only grow) and the
+global order is recovered with a sort-merge at fetch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.kvstore.sharded import ShardedKVStore
+
+__all__ = ["DirtyEntry", "DirtyTable"]
+
+_LIST_KEY = "dirty"
+
+
+@dataclass(frozen=True, order=True)
+class DirtyEntry:
+    """One dirty-table row.  Ordered by (version, oid) — exactly the
+    order ``fetch_dirty_entry`` consumes (§III-E-3)."""
+
+    version: int
+    oid: int
+
+    def __repr__(self) -> str:  # matches Figure 6's (OID, Version) rows
+        return f"DirtyEntry(oid={self.oid}, version={self.version})"
+
+
+class DirtyTable:
+    """The distributed dirty table.
+
+    Parameters
+    ----------
+    kv:
+        Backing sharded store; a private 4-shard store is created when
+        omitted.
+    dedupe:
+        When True (default), re-inserting an ``(oid, version)`` pair
+        that is already present is a no-op — re-writing an object in
+        the same epoch does not need a second re-integration pass.
+    """
+
+    def __init__(self, kv: Optional[ShardedKVStore] = None,
+                 dedupe: bool = True) -> None:
+        self._kv = kv if kv is not None else ShardedKVStore(
+            [f"shard-{i}" for i in range(4)])
+        self._dedupe = dedupe
+        self._index: Set[Tuple[int, int]] = set()
+        self._last_version: int = 0
+
+    # ------------------------------------------------------------------
+    def _shard_key(self, oid: int) -> str:
+        """Routing key: the shard is chosen by OID so lookups for one
+        object always hit one shard."""
+        return f"oid:{oid}"
+
+    def _store_of(self, oid: int):
+        return self._kv.store_for(self._shard_key(oid))
+
+    # ------------------------------------------------------------------
+    def insert(self, oid: int, version: int) -> bool:
+        """Record that *oid* was written (dirty) in *version*.
+
+        Returns whether a new entry was actually appended.  Versions
+        must be non-decreasing across inserts — the logging component
+        tags writes with the *current* version, which only grows — and
+        that monotonicity is what keeps every shard list sorted.
+        """
+        if version < self._last_version and self._dedupe:
+            # Tolerated for dedupe-off test scenarios; with dedupe on,
+            # an out-of-order version would silently break fetch order.
+            raise ValueError(
+                f"dirty insert version went backwards: {version} < "
+                f"{self._last_version}")
+        entry = DirtyEntry(version=version, oid=oid)
+        if self._dedupe and (version, oid) in self._index:
+            return False
+        self._store_of(oid).rpush(_LIST_KEY, entry)
+        self._index.add((version, oid))
+        self._last_version = max(self._last_version, version)
+        return True
+
+    def contains(self, oid: int, version: int) -> bool:
+        return (version, oid) in self._index
+
+    def contains_oid(self, oid: int) -> bool:
+        return any(o == oid for (_v, o) in self._index)
+
+    def __len__(self) -> int:
+        return sum(self._kv.shard(sid).llen(_LIST_KEY)
+                   for sid in self._kv.shard_ids)
+
+    def is_empty(self) -> bool:
+        """Algorithm 2's ``isempty_dirty_table()``."""
+        return len(self) == 0
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[DirtyEntry]:
+        """Snapshot of all entries in global fetch order
+        (version ascending, OID ascending within a version).
+
+        This is the LRANGE path: non-destructive, used while the
+        current version is not full power."""
+        out: List[DirtyEntry] = []
+        for sid in self._kv.shard_ids:
+            out.extend(self._kv.shard(sid).lrange(_LIST_KEY, 0, -1))
+        out.sort()
+        return out
+
+    def __iter__(self) -> Iterator[DirtyEntry]:
+        return iter(self.entries())
+
+    def head(self) -> Optional[DirtyEntry]:
+        """The globally-first entry, or None when empty."""
+        best: Optional[DirtyEntry] = None
+        for sid in self._kv.shard_ids:
+            e = self._kv.shard(sid).lindex(_LIST_KEY, 0)
+            if e is not None and (best is None or e < best):
+                best = e
+        return best
+
+    # ------------------------------------------------------------------
+    def remove(self, entry: DirtyEntry) -> bool:
+        """Remove one specific entry (the LPOP/LREM path, taken when
+        the entry has been re-integrated into a full-power version)."""
+        store = self._store_of(entry.oid)
+        if store.lindex(_LIST_KEY, 0) == entry:
+            store.lpop(_LIST_KEY)
+            removed = 1
+        else:
+            removed = store.lrem(_LIST_KEY, 1, entry)
+        if removed:
+            self._index.discard((entry.version, entry.oid))
+        return bool(removed)
+
+    def remove_oid(self, oid: int) -> int:
+        """Remove every entry for *oid* (used when an object is deleted
+        or when a newer write supersedes all older dirty entries).
+        Returns the number of entries removed."""
+        store = self._store_of(oid)
+        victims = [e for e in store.lrange(_LIST_KEY, 0, -1) if e.oid == oid]
+        removed = 0
+        for e in victims:
+            removed += store.lrem(_LIST_KEY, 1, e)
+            self._index.discard((e.version, e.oid))
+        return removed
+
+    def clear(self) -> None:
+        for sid in self._kv.shard_ids:
+            self._kv.shard(sid).delete(_LIST_KEY)
+        self._index.clear()
+
+    # ------------------------------------------------------------------
+    def versions_present(self) -> List[int]:
+        """Distinct versions with at least one entry, ascending —
+        a Figure-6-style summary used by tests and examples."""
+        return sorted({v for (v, _o) in self._index})
+
+    def entries_for_version(self, version: int) -> List[DirtyEntry]:
+        return [e for e in self.entries() if e.version == version]

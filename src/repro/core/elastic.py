@@ -1,0 +1,327 @@
+"""The :class:`ElasticConsistentHash` facade — the paper's headline
+object (§III-A).
+
+It glues together the four mechanisms of the design:
+
+* an equal-work-weighted hash ring (§III-C) over ranked servers, where
+  ranks 1..p are primaries (§III-B) and the rank order is the
+  expansion chain — the fixed order in which servers power on and off;
+* primary-server placement (Algorithm 1) evaluated against *any*
+  historical membership version, so the object is a pure
+  ``locate(oid, version)`` oracle;
+* membership versioning (§III-E-1): every resize appends an immutable
+  :class:`~repro.core.versioning.MembershipTable`;
+* dirty-data tracking (§III-E-2): writes issued while the cluster is
+  not at full power are logged to the distributed dirty table.
+
+The facade is *algorithmic* state only — which servers exist, which are
+on, where objects belong.  Actual bytes live in
+:class:`repro.cluster.cluster.ElasticCluster`, which drives this object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.dirty_table import DirtyTable
+from repro.core.layout import EqualWorkLayout
+from repro.core.placement import (
+    ChainMode,
+    PlacementResult,
+    place_original,
+    place_primary,
+)
+from repro.core.versioning import MembershipTable, VersionHistory
+from repro.hashring.hashing import HashFunction
+from repro.hashring.ring import HashRing
+from repro.kvstore.sharded import ShardedKVStore
+
+__all__ = ["ElasticConsistentHash"]
+
+
+class ElasticConsistentHash:
+    """Elastic consistent hashing over *n* ranked servers.
+
+    Parameters
+    ----------
+    n:
+        Cluster size.  Servers are the ranks ``1..n``.
+    replicas:
+        Replication factor *r* (paper evaluates r=2).
+    B:
+        Equal-work vnode budget (Equations 1-2).
+    p:
+        Primary count override; defaults to ``ceil(n / e^2)``.
+    chain:
+        Replica-walk chaining mode, see :mod:`repro.core.placement`.
+    layout_mode:
+        ``"equal-work"`` (the paper's design) or ``"uniform"``
+        (original-CH weights; used where the paper isolates
+        re-integration from layout effects, §V-A).
+    placement_mode:
+        ``"primary"`` (Algorithm 1) or ``"original"`` (plain successor
+        placement that skips inactive servers).  Versioning, offload
+        tracking and re-integration work identically in both — they
+        only need ``locate`` to be a pure function of (oid, version).
+    initially_active:
+        Active ranks of version 1; defaults to full power.
+    dirty_table:
+        Backing table override (tests inject pre-populated ones).
+
+    Examples
+    --------
+    >>> ech = ElasticConsistentHash(n=10, replicas=2)
+    >>> ech.layout.p
+    2
+    >>> placement = ech.locate(oid=10010)
+    >>> len(placement.servers)
+    2
+    >>> _ = ech.set_active(6)       # power down to 6 servers
+    >>> ech.current_version
+    2
+    """
+
+    def __init__(
+        self,
+        n: int,
+        replicas: int = 2,
+        B: int = 10_000,
+        p: Optional[int] = None,
+        chain: ChainMode = "walk",
+        layout_mode: str = "equal-work",
+        placement_mode: str = "primary",
+        hash_method: HashFunction = "fnv1a",
+        initially_active: Optional[Sequence[int]] = None,
+        dirty_table: Optional[DirtyTable] = None,
+    ) -> None:
+        if layout_mode == "equal-work":
+            self.layout = EqualWorkLayout.create(n, replicas, B, p)
+        elif layout_mode == "uniform":
+            self.layout = EqualWorkLayout.uniform(n, replicas, B, p)
+        else:
+            raise ValueError(f"unknown layout_mode: {layout_mode!r}")
+        if placement_mode not in ("primary", "original"):
+            raise ValueError(f"unknown placement_mode: {placement_mode!r}")
+        self.layout_mode = layout_mode
+        self.placement_mode = placement_mode
+        self.replicas = replicas
+        self.chain: ChainMode = chain
+
+        self.ring = HashRing(hash_method)
+        for rank in self.layout.ranks:
+            self.ring.add_server(rank, weight=self.layout.weight_of(rank))
+
+        self.history = VersionHistory(
+            ranks=list(self.layout.ranks),
+            initially_active=initially_active,
+        )
+        if any(not self.history.current.is_active(r)
+               for r in self.layout.primary_ranks):
+            raise ValueError("primary servers must be active in version 1")
+
+        if dirty_table is None:
+            # The table shards over the primaries — the servers that are
+            # always on, so the table never loses a shard to a resize.
+            shards = ShardedKVStore(
+                [f"rank-{r}" for r in self.layout.primary_ranks])
+            dirty_table = DirtyTable(shards)
+        self.dirty = dirty_table
+
+        #: Last version each object was written in — the object-header
+        #: (version, dirty-bit) state of §III-E-2, kept here because
+        #: placement-level staleness checks need it.
+        self.last_written: Dict[int, int] = {}
+        #: The version whose placement matches where the object's
+        #: replicas physically are.  Writes set it to the write
+        #: version; partial re-integrations advance it to their target
+        #: version (Figure 6: after the v10 migration the header reads
+        #: version 10 while the dirty entry still says 9, which is why
+        #: the v11 pass migrates "from server 9", not from the v9
+        #: locations).
+        self.location_version: Dict[int, int] = {}
+        #: Ranks that have *crashed* (as opposed to powered down):
+        #: excluded from the expansion chain until repaired.  Failure
+        #: handling is not in the paper's evaluation, but Sheepdog's
+        #: recovery machinery — which the elastic design reuses — is
+        #: "mainly utilized for tolerating failures" (§IV), so the
+        #: facade models both exits from the active set.
+        self.failed: set = set()
+
+    # ------------------------------------------------------------------
+    # roles and power state
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.layout.n
+
+    @property
+    def p(self) -> int:
+        return self.layout.p
+
+    def is_primary(self, rank: int) -> bool:
+        return self.layout.is_primary(rank)
+
+    def is_active(self, rank: int, version: Optional[int] = None) -> bool:
+        table = (self.history.current if version is None
+                 else self.history.get(version))
+        return table.is_active(rank)
+
+    @property
+    def current_version(self) -> int:
+        return self.history.current_version
+
+    @property
+    def membership(self) -> MembershipTable:
+        return self.history.current
+
+    @property
+    def num_active(self) -> int:
+        return self.history.current.num_active
+
+    @property
+    def is_full_power(self) -> bool:
+        return self.history.current.is_full_power
+
+    @property
+    def min_active(self) -> int:
+        """Smallest legal active count: the primaries (§III-C)."""
+        return self.layout.p
+
+    # ------------------------------------------------------------------
+    # resizing along the expansion chain
+    # ------------------------------------------------------------------
+    def set_active(self, k: int) -> MembershipTable:
+        """Resize to *k* active servers, clamped to ``[p, n]``, by
+        powering the expansion chain: the active set is the first *k*
+        non-failed ranks in chain order (the prefix ``{1..k}`` while
+        nothing has crashed).
+
+        Returns the new membership table (a no-op resize returns the
+        current one without creating a version).
+        """
+        available = [r for r in self.layout.ranks if r not in self.failed]
+        if not available:
+            raise RuntimeError("every server has failed")
+        k = max(min(self.min_active, len(available)),
+                min(len(available), k))
+        target = frozenset(available[:k])
+        if target == self.history.current.active:
+            return self.history.current
+        return self.history.advance(sorted(target))
+
+    # ------------------------------------------------------------------
+    # failures (crashes, as opposed to planned power-downs)
+    # ------------------------------------------------------------------
+    def mark_failed(self, rank: int) -> MembershipTable:
+        """A server crashed: remove it from the active set (new
+        version) and exclude it from the chain until repaired.  Unlike
+        a power-down, the caller must re-replicate the replicas it
+        held — crashes lose data."""
+        if rank in self.failed:
+            raise ValueError(f"rank {rank} already failed")
+        if rank not in set(self.layout.ranks):
+            raise KeyError(f"unknown rank: {rank}")
+        self.failed.add(rank)
+        active = self.history.current.active - {rank}
+        if not active:
+            raise RuntimeError("failure would empty the cluster")
+        if active == self.history.current.active:
+            return self.history.current   # was not active anyway
+        return self.history.advance(sorted(active))
+
+    def mark_repaired(self, rank: int) -> None:
+        """The crashed server is back (empty); it rejoins the chain but
+        stays powered off until the next :meth:`set_active` brings it
+        in."""
+        try:
+            self.failed.remove(rank)
+        except KeyError:
+            raise ValueError(f"rank {rank} is not failed") from None
+
+    def power_off(self, count: int = 1) -> MembershipTable:
+        """Turn off *count* servers from the top of the chain."""
+        return self.set_active(self.num_active - count)
+
+    def power_on(self, count: int = 1) -> MembershipTable:
+        """Turn on *count* servers from the bottom of the inactive
+        chain."""
+        return self.set_active(self.num_active + count)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def locate(self, oid: int,
+               version: Optional[int] = None) -> PlacementResult:
+        """Replica locations of *oid* under *version* (default:
+        current).  Pure: repeated calls with the same arguments return
+        the same servers — Algorithm 2's ``locate_ser``."""
+        table = (self.history.current if version is None
+                 else self.history.get(version))
+        if self.placement_mode == "original":
+            return place_original(self.ring, oid, self.replicas,
+                                  is_active=table.is_active)
+        return place_primary(
+            self.ring, oid, self.replicas,
+            is_primary=self.is_primary,
+            is_active=table.is_active,
+            chain=self.chain,
+        )
+
+    def record_write(self, oid: int) -> PlacementResult:
+        """Place *oid* for a write in the current version and perform
+        the dirty-tracking side effects (§III-E-2): tag the object
+        header with the version, and log a dirty entry unless the
+        cluster is at full power."""
+        placement = self.locate(oid)
+        version = self.current_version
+        self.last_written[oid] = version
+        self.location_version[oid] = version
+        if not self.is_full_power:
+            self.dirty.insert(oid, version)
+        return placement
+
+    def locate_current_replicas(self, oid: int) -> PlacementResult:
+        """Where the *newest* replicas of *oid* physically are: the
+        placement under its location version (write or last partial
+        re-integration, whichever is later)."""
+        version = self.location_version.get(oid)
+        if version is None:
+            raise KeyError(f"object never written: {oid}")
+        return self.locate(oid, version)
+
+    def is_dirty(self, oid: int) -> bool:
+        """Object-header dirty bit: the object's last write has not yet
+        been re-integrated into a full-power layout."""
+        return self.dirty.contains_oid(oid)
+
+    def mark_clean(self, oid: int) -> None:
+        """Clear the dirty bit (all entries) for *oid* — called by the
+        re-integration engine once the object reaches its full-power
+        placement."""
+        self.dirty.remove_oid(oid)
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def placement_map(self, oids: Iterable[int],
+                      version: Optional[int] = None
+                      ) -> Dict[int, Tuple[int, ...]]:
+        """Bulk ``{oid: servers}`` under one version."""
+        return {oid: self.locate(oid, version).servers for oid in oids}
+
+    def blocks_per_rank(self, oids: Iterable[int],
+                        version: Optional[int] = None) -> Dict[int, int]:
+        """Replica count per rank for a set of objects — the y-axis of
+        Figure 5."""
+        counts: Dict[int, int] = {r: 0 for r in self.layout.ranks}
+        for oid in oids:
+            for sid in self.locate(oid, version).servers:
+                counts[sid] += 1
+        return counts
+
+    def describe(self) -> str:
+        """One-line configuration summary for logs and examples."""
+        return (f"ElasticConsistentHash(n={self.n}, r={self.replicas}, "
+                f"p={self.p}, B={self.layout.B}, chain={self.chain!r}, "
+                f"version={self.current_version}, "
+                f"active={self.num_active}/{self.n})")

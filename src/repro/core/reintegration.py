@@ -1,0 +1,260 @@
+"""Selective data re-integration — Algorithm 2 (§III-E-3).
+
+When servers power back on, offloaded replicas must migrate to the
+servers they were offloaded from, restoring the equal-work layout.  The
+original consistent hashing "over-migrates all the data based on
+changed data layout"; the selective engine instead walks the dirty
+table and migrates only objects whose historical placement differs from
+their placement in the current version.
+
+Faithfulness to Algorithm 2:
+
+* entries are fetched in (version ascending, OID ascending) order;
+* a version change since the last fetch restarts the scan from the
+  head (``restart_dirty_entry``, line 2-4);
+* an entry is acted on only when the current version has **more**
+  active servers than the entry's version (line 6);
+* migration moves data from ``locate(OID, Ver)`` to
+  ``locate(OID, Curr_Ver)`` (lines 7-9);
+* the entry is removed only when the current version is full power
+  (lines 11-13); otherwise it stays for the next size-up.
+
+One extension the paper describes in prose (§III-E-2: the header
+version "avoids stale data") is implemented explicitly: when an object
+has been re-written in a *newer* version than the fetched entry, the
+entry is stale — its migration is skipped (the newer entry supersedes
+it) and at full power it is removed alongside.
+
+Rate limiting (§II-C, problem 2: "the rate of migration operation is
+not controlled") is expressed as a per-call byte budget: the driver —
+the cluster simulator's migration engine — calls :meth:`step` once per
+tick with the bytes the token bucket grants that tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.dirty_table import DirtyEntry, DirtyTable
+from repro.core.elastic import ElasticConsistentHash
+
+__all__ = ["MigrationTask", "ReintegrationReport", "ReintegrationEngine"]
+
+ObjectSizeFn = Callable[[int], int]
+MigrateCallback = Callable[["MigrationTask"], None]
+
+DEFAULT_OBJECT_SIZE = 4 * 1024 * 1024  # Sheepdog's 4 MB objects (§V-A)
+
+
+@dataclass(frozen=True)
+class MigrationTask:
+    """One object's re-integration move.
+
+    ``moved_to`` are the servers that must *receive* a replica (present
+    in the new placement, absent from the old); ``dropped_from`` are
+    servers whose replica becomes surplus.  ``bytes`` counts the copy
+    traffic: one object size per receiving server.
+    """
+
+    oid: int
+    entry_version: int
+    target_version: int
+    from_servers: Tuple[int, ...]
+    to_servers: Tuple[int, ...]
+    moved_to: Tuple[int, ...]
+    dropped_from: Tuple[int, ...]
+    nbytes: int
+
+
+@dataclass
+class ReintegrationReport:
+    """Accumulated outcome of one or more :meth:`step` calls."""
+
+    tasks: List[MigrationTask] = field(default_factory=list)
+    removed: List[DirtyEntry] = field(default_factory=list)
+    entries_processed: int = 0
+    entries_migrated: int = 0
+    entries_removed: int = 0
+    entries_stale: int = 0
+    bytes_migrated: int = 0
+    caught_up: bool = False
+
+    def merge(self, other: "ReintegrationReport") -> None:
+        self.tasks.extend(other.tasks)
+        self.removed.extend(other.removed)
+        self.entries_processed += other.entries_processed
+        self.entries_migrated += other.entries_migrated
+        self.entries_removed += other.entries_removed
+        self.entries_stale += other.entries_stale
+        self.bytes_migrated += other.bytes_migrated
+        self.caught_up = other.caught_up
+
+
+class ReintegrationEngine:
+    """Algorithm 2's background re-integration process.
+
+    Parameters
+    ----------
+    ech:
+        The elastic-hashing facade (placement + versions + dirty table).
+    object_size:
+        ``oid -> bytes`` oracle; defaults to constant 4 MB objects.
+    on_migrate:
+        Callback invoked for every :class:`MigrationTask` — the cluster
+        layer hooks the actual byte movement here.
+    """
+
+    RUNNING = "RUNNING"
+    PAUSED = "PAUSED"
+
+    def __init__(
+        self,
+        ech: ElasticConsistentHash,
+        object_size: Optional[ObjectSizeFn] = None,
+        on_migrate: Optional[MigrateCallback] = None,
+    ) -> None:
+        self.ech = ech
+        self.object_size: ObjectSizeFn = (
+            object_size if object_size is not None
+            else (lambda _oid: DEFAULT_OBJECT_SIZE))
+        self.on_migrate = on_migrate
+        self.state = self.RUNNING
+
+        self._last_version = 0          # Algorithm 2's Last_Ver
+        self._snapshot: List[DirtyEntry] = []
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        self.state = self.PAUSED
+
+    def resume(self) -> None:
+        self.state = self.RUNNING
+
+    @property
+    def pending(self) -> int:
+        """Entries not yet scanned in the current pass."""
+        return max(0, len(self._snapshot) - self._cursor)
+
+    def _restart(self) -> None:
+        """``restart_dirty_entry()``: re-snapshot in fetch order and
+        rewind to the head."""
+        self._snapshot = self.ech.dirty.entries()
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def plan_task(self, entry: DirtyEntry) -> Optional[MigrationTask]:
+        """The migration implied by one entry under the current
+        version, or None when placements already agree.
+
+        The *from* side is the object's **location version** — a prior
+        partial re-integration may already have moved the replicas past
+        the entry's write version (Figure 6's v10→v11 step migrates
+        from server 9, where the v10 pass parked the copy)."""
+        curr = self.ech.current_version
+        loc_ver = self.ech.location_version.get(entry.oid, entry.version)
+        old = self.ech.locate(entry.oid, loc_ver).servers
+        new = self.ech.locate(entry.oid, curr).servers
+        moved_to = tuple(s for s in new if s not in old)
+        dropped = tuple(s for s in old if s not in new)
+        if not moved_to and not dropped:
+            return None
+        size = self.object_size(entry.oid)
+        return MigrationTask(
+            oid=entry.oid,
+            entry_version=entry.version,
+            target_version=curr,
+            from_servers=old,
+            to_servers=new,
+            moved_to=moved_to,
+            dropped_from=dropped,
+            nbytes=size * len(moved_to),
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, budget_bytes: Optional[int] = None,
+             max_entries: Optional[int] = None) -> ReintegrationReport:
+        """Run the Algorithm 2 loop until the dirty table is drained,
+        the byte budget is spent, or *max_entries* entries have been
+        processed.
+
+        Returns a report; ``caught_up`` is True when every entry
+        currently in the table has been scanned against the current
+        version (the table itself may still be non-empty if the version
+        is not full power).
+        """
+        report = ReintegrationReport()
+        if self.state != self.RUNNING:
+            return report
+
+        curr_ver = self.ech.current_version
+        if curr_ver > self._last_version:
+            self._restart()
+            self._last_version = curr_ver
+
+        full_power = self.ech.is_full_power
+        curr_active = self.ech.history.num_active(curr_ver)
+
+        while self._cursor < len(self._snapshot):
+            if budget_bytes is not None and report.bytes_migrated >= budget_bytes:
+                return report
+            if max_entries is not None and report.entries_processed >= max_entries:
+                return report
+
+            entry = self._snapshot[self._cursor]
+            self._cursor += 1
+            report.entries_processed += 1
+
+            # Staleness: a newer write supersedes this entry.
+            latest = self.ech.last_written.get(entry.oid, entry.version)
+            if latest > entry.version:
+                report.entries_stale += 1
+                if full_power:
+                    self.ech.dirty.remove(entry)
+                    report.removed.append(entry)
+                    report.entries_removed += 1
+                continue
+
+            # Line 6: only act when the cluster has grown past the
+            # entry's version.
+            if curr_active > self.ech.history.num_active(entry.version):
+                task = self.plan_task(entry)
+                if task is not None:
+                    if self.on_migrate is not None:
+                        self.on_migrate(task)
+                    report.tasks.append(task)
+                    report.bytes_migrated += task.nbytes
+                    report.entries_migrated += 1
+                # The replicas now sit at the current version's
+                # placement — advance the header's location version so
+                # a later pass migrates from here (Figure 6).
+                self.ech.location_version[entry.oid] = curr_ver
+                # Lines 11-13: clear only at full power.
+                if full_power:
+                    self.ech.dirty.remove(entry)
+                    report.removed.append(entry)
+                    report.entries_removed += 1
+
+        report.caught_up = True
+        return report
+
+    # ------------------------------------------------------------------
+    def drain(self) -> ReintegrationReport:
+        """Run to quiescence under the current version (no budget)."""
+        return self.step()
+
+    def total_pending_bytes(self) -> int:
+        """Upper bound on migration traffic if the scan ran now —
+        used by the policy analyser to size the re-integration load."""
+        total = 0
+        curr_active = self.ech.num_active
+        for entry in self.ech.dirty.entries():
+            latest = self.ech.last_written.get(entry.oid, entry.version)
+            if latest > entry.version:
+                continue
+            if curr_active > self.ech.history.num_active(entry.version):
+                task = self.plan_task(entry)
+                if task is not None:
+                    total += task.nbytes
+        return total

@@ -1,0 +1,40 @@
+"""Experiment drivers: one callable per paper artefact.
+
+These glue the library layers together exactly the way the paper's
+evaluation does, so the benchmarks, the examples and the tests all run
+the *same* experiment code:
+
+* :func:`run_resize_agility` — Figure 2 (ideal vs original-CH resizing);
+* :func:`run_three_phase` — Figures 3 and 7 (throughput under resizing);
+* :func:`run_layout_versions` — Figure 5 (equal-work layout and the
+  data to re-integrate across versions);
+* :func:`run_trace_analysis` — Figures 8/9 and Tables I/II.
+"""
+
+from repro.experiments.resize_agility import (
+    ResizeAgilityResult,
+    run_resize_agility,
+)
+from repro.experiments.three_phase import (
+    ThreePhaseResult,
+    run_three_phase,
+)
+from repro.experiments.layout import (
+    LayoutVersionsResult,
+    run_layout_versions,
+)
+from repro.experiments.traces import (
+    TraceExperiment,
+    run_trace_analysis,
+)
+
+__all__ = [
+    "ResizeAgilityResult",
+    "run_resize_agility",
+    "ThreePhaseResult",
+    "run_three_phase",
+    "LayoutVersionsResult",
+    "run_layout_versions",
+    "TraceExperiment",
+    "run_trace_analysis",
+]

@@ -1,0 +1,100 @@
+"""Figure 5: the equal-work data layout and re-integration volume
+across versions.
+
+The figure's scenario: a 10-server cluster goes through three versions
+— v1 with 10 active, v2 with 8 active (50,000 objects written while
+shrunk, distorting the layout curve because the last two servers are
+off), v3 back to 10 active.  The plot shows blocks per server rank in
+each version and, shaded, the data that must re-integrate to recover
+the equal-work curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.cluster import ElasticCluster
+from repro.metrics.distribution import (
+    distribution_stats,
+    equal_work_reference,
+    shape_correlation,
+)
+
+__all__ = ["LayoutVersionsResult", "run_layout_versions"]
+
+
+@dataclass
+class LayoutVersionsResult:
+    """Per-version block distributions + the migration volume."""
+
+    n: int
+    p: int
+    replicas: int
+    #: blocks per rank after each version's writes, keyed by label.
+    distributions: Dict[str, Dict[int, int]]
+    #: objects that must move in v3 (the shaded area of Figure 5).
+    reintegration_objects: int
+    reintegration_bytes: int
+    #: Pearson correlation of the v1 distribution with the ideal
+    #: equal-work shape.
+    v1_shape_correlation: float
+
+    def stats(self, label: str) -> Dict[str, float]:
+        return distribution_stats(self.distributions[label])
+
+
+def run_layout_versions(
+    n: int = 10,
+    replicas: int = 2,
+    objects_v1: int = 40_000,
+    objects_v2: int = 50_000,
+    off_count: int = 2,
+    object_size: int = 4 * 1024 * 1024,
+    B: int = 10_000,
+) -> LayoutVersionsResult:
+    """Run the Figure 5 scenario and measure the distributions.
+
+    Defaults follow the figure: 50,000 objects written in version 2
+    with 2 servers off.
+    """
+    cluster = ElasticCluster(n, replicas, B=B)
+    oid = 0
+
+    # Version 1: full power.
+    for _ in range(objects_v1):
+        cluster.write(oid, object_size)
+        oid += 1
+    dist_v1 = cluster.replicas_per_rank()
+
+    # Version 2: shrink, write the figure's 50k objects.
+    cluster.resize(n - off_count)
+    for _ in range(objects_v2):
+        cluster.write(oid, object_size)
+        oid += 1
+    dist_v2 = cluster.replicas_per_rank()
+
+    # Version 3: back to full power; the selective backlog *is* the
+    # shaded re-integration area.
+    cluster.resize(n)
+    backlog_bytes = cluster.selective_backlog_bytes()
+    report = cluster.run_selective_reintegration()
+    dist_v3 = cluster.replicas_per_rank()
+
+    ref = equal_work_reference(n, cluster.ech.p)
+    corr = shape_correlation(
+        {r: float(c) for r, c in dist_v1.items()}, ref)
+
+    return LayoutVersionsResult(
+        n=n,
+        p=cluster.ech.p,
+        replicas=replicas,
+        distributions={
+            "version1 (full power)": dist_v1,
+            "version2 (shrunk)": dist_v2,
+            "version3 (re-integrated)": dist_v3,
+        },
+        reintegration_objects=report.entries_migrated,
+        reintegration_bytes=report.bytes_migrated,
+        v1_shape_correlation=corr,
+    )

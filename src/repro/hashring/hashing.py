@@ -1,0 +1,164 @@
+"""Stable 64-bit hash functions for ring positions and object keys.
+
+Consistent hashing needs a hash that is (a) stable across processes —
+Python's builtin ``hash`` is salted per process and therefore unusable —
+(b) well distributed over the 64-bit space, and (c) cheap for bulk use.
+
+Two families are provided:
+
+``sha1``
+    The first 8 bytes of SHA-1, the approach Sheepdog itself uses
+    (``sd_hash`` is FNV in modern Sheepdog, but the original paper-era
+    code hashed with SHA-1 object ids).  Cryptographic quality, slower.
+
+``fnv1a``
+    64-bit FNV-1a followed by a splitmix64 avalanche finalizer.  Plain
+    FNV-1a mixes its *high* bits poorly on short keys (vnode labels like
+    ``"5#17"``), which measurably skews ring arc shares; the finalizer
+    restores full avalanche at negligible cost.  This is the default
+    used throughout the reproduction.
+
+Both accept ``str``, ``bytes`` and ``int`` keys; integers are encoded as
+their decimal string so that object ids hash identically whether the
+caller stores them as ints or strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Literal, Union
+
+import numpy as np
+
+__all__ = ["HashFunction", "hash64", "hash_key", "vnode_positions"]
+
+HashFunction = Literal["fnv1a", "sha1"]
+
+Key = Union[str, bytes, int]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _to_bytes(key: Key) -> bytes:
+    """Canonical byte encoding for a key.
+
+    Integers map to their decimal representation so ``hash64(42)`` and
+    ``hash64("42")`` agree — object ids cross the int/str boundary at
+    several API layers and must land on the same ring position.
+    """
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, int):
+        return b"%d" % key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    raise TypeError(f"unhashable key type for ring hashing: {type(key)!r}")
+
+
+def _splitmix64(h: int) -> int:
+    """The splitmix64 finalizer: full 64-bit avalanche in three
+    xor-shift-multiply rounds (Steele et al., the same mixer murmur3 and
+    xxHash use as their tail)."""
+    h = (h + 0x9E3779B97F4A7C15) & _MASK64
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return h ^ (h >> 31)
+
+
+def _fnv1a64(data: bytes) -> int:
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return _splitmix64(h)
+
+
+def _sha1_64(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+def hash64(key: Key, method: HashFunction = "fnv1a") -> int:
+    """Hash *key* to a position in ``[0, 2**64)``.
+
+    Parameters
+    ----------
+    key:
+        Object id, server id, or any ring key.
+    method:
+        ``"fnv1a"`` (default) or ``"sha1"``.
+    """
+    data = _to_bytes(key)
+    if method == "fnv1a":
+        return _fnv1a64(data)
+    if method == "sha1":
+        return _sha1_64(data)
+    raise ValueError(f"unknown hash method: {method!r}")
+
+
+def hash_key(key: Key, method: HashFunction = "fnv1a") -> int:
+    """Alias of :func:`hash64` kept for call-site readability: hashing a
+    *data key* rather than a ring member."""
+    return hash64(key, method)
+
+
+def vnode_positions(
+    server_id: Key,
+    count: int,
+    method: HashFunction = "fnv1a",
+    start_index: int = 0,
+) -> np.ndarray:
+    """Ring positions for *count* virtual nodes of one server.
+
+    Virtual node *j* of server *s* is placed at
+    ``splitmix64(hash64(s) + j)`` — a counter-mode stream seeded by the
+    server's own hash.  Like the conventional ``hash(f"{s}#{j}")``
+    derivation it keeps positions stable when the vnode count changes
+    (existing vnodes never move; new indices only append), which is what
+    makes the equal-work layout's per-rank re-weighting cheap — but it
+    vectorises: generating the ~10^4 vnodes of an equal-work ring is a
+    handful of NumPy ops instead of 10^4 string hashes.
+
+    Parameters
+    ----------
+    server_id:
+        Physical server identifier.
+    count:
+        Number of virtual nodes to generate (may be 0).
+    start_index:
+        First vnode index; lets callers extend an existing set.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array of length *count* (unsorted; duplicates across
+        servers are possible but astronomically unlikely and handled by
+        the ring's stable sort).
+    """
+    if count < 0:
+        raise ValueError("vnode count must be >= 0")
+    seed = np.uint64(hash64(server_id, method))
+    idx = np.arange(start_index, start_index + count, dtype=np.uint64)
+    return splitmix64_array(seed + idx)
+
+
+def splitmix64_array(h: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finalizer over a ``uint64`` array."""
+    h = h.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        h += np.uint64(0x9E3779B97F4A7C15)
+        h ^= h >> np.uint64(30)
+        h *= np.uint64(0xBF58476D1CE4E5B9)
+        h ^= h >> np.uint64(27)
+        h *= np.uint64(0x94D049BB133111EB)
+        h ^= h >> np.uint64(31)
+    return h
+
+
+def bulk_hash(keys: Iterable[Key], method: HashFunction = "fnv1a") -> np.ndarray:
+    """Hash an iterable of keys into a ``uint64`` array (bulk helper for
+    vectorised placement and distribution analysis)."""
+    return np.fromiter(
+        (hash64(k, method) for k in keys), dtype=np.uint64, count=-1
+    )

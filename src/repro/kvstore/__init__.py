@@ -1,0 +1,17 @@
+"""In-memory key-value store modelled on Redis, plus a hash-sharded
+distributed wrapper.
+
+The paper (§IV) keeps the dirty table in Redis as a LIST, manipulated
+with RPUSH / LPOP / LRANGE, and notes the table "is maintained in a
+distributed key-value store across the storage servers to balance the
+storage usage and the lookup load" (§III-E-2).  :class:`KVStore`
+reproduces the command surface the paper uses (and the handful of
+adjacent commands the tests exercise); :class:`ShardedKVStore` spreads
+keys over several stores with consistent hashing, as the deployment
+described in the paper would.
+"""
+
+from repro.kvstore.store import KVStore, WrongTypeError
+from repro.kvstore.sharded import ShardedKVStore
+
+__all__ = ["KVStore", "WrongTypeError", "ShardedKVStore"]

@@ -1,0 +1,123 @@
+"""A distributed key-value store: keys hash-sharded over several
+:class:`~repro.kvstore.store.KVStore` instances.
+
+§III-E-2: "The dirty table is maintained in a distributed key-value
+store across the storage servers to balance the storage usage and the
+lookup load."  The wrapper routes every command to the shard owning the
+key via a small consistent-hash ring, so shard membership can follow
+cluster membership without rehashing every key.
+
+Whole-keyspace operations (``keys``, ``dbsize``, ``flushall``) fan out
+to all shards.  A *list* key lives entirely on one shard — Redis LIST
+semantics are per-key, which is exactly what the dirty table needs
+(it shards the table itself into one list per shard, see
+:class:`repro.core.dirty_table.DirtyTable`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Sequence
+
+from repro.hashring.ring import HashRing
+from repro.kvstore.store import KVStore
+
+__all__ = ["ShardedKVStore"]
+
+
+class ShardedKVStore:
+    """Consistent-hash-sharded façade over N independent stores.
+
+    Parameters
+    ----------
+    shard_ids:
+        Identifiers of the shard servers (usually the storage-server
+        ids hosting the table).
+    vnodes_per_shard:
+        Ring weight per shard; the default gives <5 % imbalance for
+        typical shard counts.
+    """
+
+    def __init__(self, shard_ids: Sequence[Hashable],
+                 vnodes_per_shard: int = 64) -> None:
+        if not shard_ids:
+            raise ValueError("at least one shard required")
+        self._ring = HashRing()
+        self._shards: Dict[Hashable, KVStore] = {}
+        for sid in shard_ids:
+            self._ring.add_server(sid, weight=vnodes_per_shard)
+            self._shards[sid] = KVStore()
+
+    # ------------------------------------------------------------------
+    def shard_for(self, key: str) -> Hashable:
+        """The shard id owning *key*."""
+        return self._ring.successor(key)
+
+    def store_for(self, key: str) -> KVStore:
+        return self._shards[self.shard_for(key)]
+
+    @property
+    def shard_ids(self) -> List[Hashable]:
+        return list(self._shards)
+
+    def shard(self, shard_id: Hashable) -> KVStore:
+        """Direct access to one shard's store (used by tests and by the
+        dirty table's per-shard scan)."""
+        return self._shards[shard_id]
+
+    # ------------------------------------------------------------------
+    # routed commands — same signatures as KVStore
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self.store_for(key).set(key, value)
+
+    def get(self, key: str) -> Any:
+        return self.store_for(key).get(key)
+
+    def incr(self, key: str, amount: int = 1) -> int:
+        return self.store_for(key).incr(key, amount)
+
+    def delete(self, key: str) -> bool:
+        return self.store_for(key).delete(key)
+
+    def exists(self, key: str) -> bool:
+        return self.store_for(key).exists(key)
+
+    def rpush(self, key: str, *values: Any) -> int:
+        return self.store_for(key).rpush(key, *values)
+
+    def lpush(self, key: str, *values: Any) -> int:
+        return self.store_for(key).lpush(key, *values)
+
+    def lpop(self, key: str) -> Any:
+        return self.store_for(key).lpop(key)
+
+    def rpop(self, key: str) -> Any:
+        return self.store_for(key).rpop(key)
+
+    def llen(self, key: str) -> int:
+        return self.store_for(key).llen(key)
+
+    def lindex(self, key: str, index: int) -> Any:
+        return self.store_for(key).lindex(key, index)
+
+    def lrange(self, key: str, start: int, stop: int) -> List[Any]:
+        return self.store_for(key).lrange(key, start, stop)
+
+    def lrem(self, key: str, count: int, value: Any) -> int:
+        return self.store_for(key).lrem(key, count, value)
+
+    # ------------------------------------------------------------------
+    # fan-out commands
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        out: List[str] = []
+        for store in self._shards.values():
+            out.extend(store.keys())
+        return out
+
+    def dbsize(self) -> int:
+        return sum(store.dbsize() for store in self._shards.values())
+
+    def flushall(self) -> None:
+        for store in self._shards.values():
+            store.flushall()

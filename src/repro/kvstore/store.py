@@ -1,0 +1,229 @@
+"""A single-node, in-memory key-value store with Redis LIST semantics.
+
+Only the data types the reproduction needs are implemented — strings
+and lists — but their edge-case behaviour follows Redis precisely
+(verified by the test suite against the documented Redis semantics):
+
+* reading a missing key returns ``None`` / empty, never raises;
+* list commands against a string key (and vice versa) raise
+  :class:`WrongTypeError`, mirroring Redis ``WRONGTYPE``;
+* a list that becomes empty is deleted (``EXISTS`` turns false);
+* ``LRANGE`` accepts negative and out-of-range indices with Redis'
+  clamping rules.
+
+The store is deliberately unsynchronised: the simulator is single-
+threaded and deterministic, and the paper's consistency argument does
+not rest on the KV store's concurrency behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["KVStore", "WrongTypeError"]
+
+
+class WrongTypeError(TypeError):
+    """Operation against a key holding the wrong kind of value
+    (Redis ``WRONGTYPE``)."""
+
+
+class KVStore:
+    """One in-memory store instance.
+
+    Examples
+    --------
+    >>> kv = KVStore()
+    >>> kv.rpush("dirty", "a", "b")
+    2
+    >>> kv.lrange("dirty", 0, -1)
+    ['a', 'b']
+    >>> kv.lpop("dirty")
+    'a'
+    """
+
+    def __init__(self) -> None:
+        self._strings: Dict[str, Any] = {}
+        self._lists: Dict[str, Deque[Any]] = {}
+
+    # ------------------------------------------------------------------
+    # generic
+    # ------------------------------------------------------------------
+    def exists(self, key: str) -> bool:
+        return key in self._strings or key in self._lists
+
+    def delete(self, key: str) -> bool:
+        """Remove *key* of any type; returns whether it existed."""
+        found = self._strings.pop(key, _MISSING) is not _MISSING
+        found = (self._lists.pop(key, None) is not None) or found
+        return found
+
+    def keys(self) -> List[str]:
+        return list(self._strings) + list(self._lists)
+
+    def flushall(self) -> None:
+        self._strings.clear()
+        self._lists.clear()
+
+    def type_of(self, key: str) -> Optional[str]:
+        if key in self._strings:
+            return "string"
+        if key in self._lists:
+            return "list"
+        return None
+
+    def dbsize(self) -> int:
+        return len(self._strings) + len(self._lists)
+
+    # ------------------------------------------------------------------
+    # strings
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        """SET — overwrites any existing value, including a list
+        (Redis SET replaces keys of any type)."""
+        self._lists.pop(key, None)
+        self._strings[key] = value
+
+    def get(self, key: str) -> Any:
+        if key in self._lists:
+            raise WrongTypeError(f"key {key!r} holds a list")
+        return self._strings.get(key)
+
+    def incr(self, key: str, amount: int = 1) -> int:
+        """INCRBY — initialises a missing key to 0 first."""
+        if key in self._lists:
+            raise WrongTypeError(f"key {key!r} holds a list")
+        cur = self._strings.get(key, 0)
+        if not isinstance(cur, int):
+            raise WrongTypeError(f"key {key!r} is not an integer")
+        cur += amount
+        self._strings[key] = cur
+        return cur
+
+    # ------------------------------------------------------------------
+    # lists
+    # ------------------------------------------------------------------
+    def _list_for_write(self, key: str) -> Deque[Any]:
+        if key in self._strings:
+            raise WrongTypeError(f"key {key!r} holds a string")
+        lst = self._lists.get(key)
+        if lst is None:
+            lst = deque()
+            self._lists[key] = lst
+        return lst
+
+    def _list_for_read(self, key: str) -> Optional[Deque[Any]]:
+        if key in self._strings:
+            raise WrongTypeError(f"key {key!r} holds a string")
+        return self._lists.get(key)
+
+    def rpush(self, key: str, *values: Any) -> int:
+        """RPUSH — append; returns the new length.  This is how dirty
+        entries enter the table (§IV)."""
+        if not values:
+            raise ValueError("rpush requires at least one value")
+        lst = self._list_for_write(key)
+        lst.extend(values)
+        return len(lst)
+
+    def lpush(self, key: str, *values: Any) -> int:
+        """LPUSH — prepend (values land in reverse order, as in Redis)."""
+        if not values:
+            raise ValueError("lpush requires at least one value")
+        lst = self._list_for_write(key)
+        for v in values:
+            lst.appendleft(v)
+        return len(lst)
+
+    def lpop(self, key: str) -> Any:
+        """LPOP — pop from the head; ``None`` on missing/empty key.
+        Used to consume a dirty entry once it is fully re-integrated."""
+        lst = self._list_for_read(key)
+        if not lst:
+            return None
+        value = lst.popleft()
+        if not lst:
+            del self._lists[key]
+        return value
+
+    def rpop(self, key: str) -> Any:
+        lst = self._list_for_read(key)
+        if not lst:
+            return None
+        value = lst.pop()
+        if not lst:
+            del self._lists[key]
+        return value
+
+    def llen(self, key: str) -> int:
+        lst = self._list_for_read(key)
+        return len(lst) if lst else 0
+
+    def lindex(self, key: str, index: int) -> Any:
+        lst = self._list_for_read(key)
+        if not lst:
+            return None
+        try:
+            return lst[index]
+        except IndexError:
+            return None
+
+    def lrange(self, key: str, start: int, stop: int) -> List[Any]:
+        """LRANGE with Redis index semantics: *stop* is inclusive,
+        negative indices count from the tail, and out-of-range bounds
+        clamp rather than raise.  This is the non-destructive fetch used
+        while the cluster is not yet at full power (§IV)."""
+        lst = self._list_for_read(key)
+        if not lst:
+            return []
+        n = len(lst)
+        if start < 0:
+            start = max(n + start, 0)
+        if stop < 0:
+            stop = n + stop
+        stop = min(stop, n - 1)
+        if start > stop or start >= n:
+            return []
+        # deque slicing is O(n) anyway; materialise once.
+        seq = list(lst)
+        return seq[start:stop + 1]
+
+    def lrem(self, key: str, count: int, value: Any) -> int:
+        """LREM — remove up to *count* occurrences of *value* (all when
+        count == 0; from the tail when count < 0)."""
+        lst = self._list_for_read(key)
+        if not lst:
+            return 0
+        seq = list(lst)
+        removed = 0
+        if count >= 0:
+            limit = count if count > 0 else len(seq)
+            out = []
+            for item in seq:
+                if item == value and removed < limit:
+                    removed += 1
+                else:
+                    out.append(item)
+        else:
+            limit = -count
+            out_rev = []
+            for item in reversed(seq):
+                if item == value and removed < limit:
+                    removed += 1
+                else:
+                    out_rev.append(item)
+            out = list(reversed(out_rev))
+        if out:
+            self._lists[key] = deque(out)
+        else:
+            del self._lists[key]
+        return removed
+
+    def lists_iter(self, key: str) -> Iterator[Any]:
+        """Non-Redis convenience: iterate a list without copying."""
+        lst = self._list_for_read(key)
+        return iter(lst) if lst else iter(())
+
+
+_MISSING = object()

@@ -1,0 +1,117 @@
+"""Read-performance proportionality — measuring the equal-work claim.
+
+§III-C asserts the equal-work layout "allows power proportionality and
+read performance proportionality at the same time", deferring the
+derivation to Rabbit.  This module *measures* it: given a placement
+and an active prefix of k servers, the maximum aggregate rate at which
+a uniformly random read workload can be served is a max-flow problem —
+each object must be read from one of its active replica holders, no
+server beyond its disk bandwidth.
+
+``read_capacity(ech, k, ...)`` computes that rate by bisecting on the
+aggregate rate R and checking feasibility with a max-flow over the
+(holder-set group) → (server) bipartite network.  A layout is
+performance-proportional when ``capacity(k) ≈ (k / n) * capacity(n)``
+for every k the power policy can choose.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.core.elastic import ElasticConsistentHash
+
+__all__ = ["holder_groups", "read_capacity", "proportionality_curve"]
+
+
+def holder_groups(ech: ElasticConsistentHash,
+                  active_ranks: FrozenSet[int],
+                  probe_oids: Iterable[int],
+                  ) -> Tuple[Dict[FrozenSet[int], int], int, int]:
+    """Group sampled objects by their set of *active* replica holders.
+
+    Returns (groups, total objects, unavailable objects).  Placement is
+    evaluated at full power — the data layout — and then filtered to
+    the active set, mirroring reads against a shrunken cluster.
+    """
+    groups: Counter = Counter()
+    total = 0
+    unavailable = 0
+    for oid in probe_oids:
+        total += 1
+        holders = frozenset(
+            s for s in ech.locate(oid, version=1).servers
+            if s in active_ranks)
+        if holders:
+            groups[holders] += 1
+        else:
+            unavailable += 1
+    return dict(groups), total, unavailable
+
+
+def _feasible(groups: Dict[FrozenSet[int], int], total: int,
+              rate: float, per_server_bw: float,
+              active_ranks: FrozenSet[int]) -> bool:
+    """Can aggregate *rate* be served?  Max-flow over
+    source → group (demand) → server (capacity) → sink."""
+    import networkx as nx  # optional dependency: only this audit needs it
+    g = nx.DiGraph()
+    demand_total = 0.0
+    for holders, count in groups.items():
+        demand = rate * count / total
+        demand_total += demand
+        gnode = ("g", holders)
+        g.add_edge("src", gnode, capacity=demand)
+        for server in holders:
+            g.add_edge(gnode, ("s", server), capacity=float("inf"))
+    for server in active_ranks:
+        g.add_edge(("s", server), "dst", capacity=per_server_bw)
+    if demand_total == 0:
+        return True
+    flow = nx.maximum_flow_value(g, "src", "dst")
+    return flow >= demand_total * (1 - 1e-9)
+
+
+def read_capacity(ech: ElasticConsistentHash, k: int,
+                  per_server_bw: float = 64e6,
+                  probe_oids: Iterable[int] = range(4_000),
+                  tolerance: float = 0.005) -> float:
+    """Maximum aggregate read rate with the first *k* chain ranks
+    active (bytes/s), for a uniform read mix over the probe objects.
+
+    Objects with no active replica are unservable; their demand share
+    caps the achievable rate at 0 (availability loss), which is what
+    the measurement will show for non-primary layouts at small k.
+    """
+    if not 1 <= k <= ech.n:
+        raise ValueError(f"k out of range 1..{ech.n}")
+    active = frozenset(range(1, k + 1))
+    groups, total, unavailable = holder_groups(ech, active, probe_oids)
+    if unavailable:
+        return 0.0  # a uniform mix hits an unservable object
+
+    lo, hi = 0.0, per_server_bw * k
+    while hi - lo > tolerance * per_server_bw:
+        mid = (lo + hi) / 2
+        if _feasible(groups, total, mid, per_server_bw, active):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def proportionality_curve(ech: ElasticConsistentHash,
+                          per_server_bw: float = 64e6,
+                          probe_oids: Optional[Iterable[int]] = None,
+                          ks: Optional[Iterable[int]] = None,
+                          ) -> Dict[int, float]:
+    """``{k: read capacity}`` over the active counts the power policy
+    can choose (p..n by default)."""
+    if probe_oids is None:
+        probe_oids = range(4_000)
+    probe = list(probe_oids)
+    if ks is None:
+        ks = range(ech.min_active, ech.n + 1)
+    return {k: read_capacity(ech, k, per_server_bw, probe)
+            for k in ks}

@@ -1,0 +1,79 @@
+"""ASCII rendering for the benchmark harness.
+
+Every bench prints the paper's table rows / figure series next to the
+measured ones; these helpers keep that output aligned and diff-able
+(EXPERIMENTS.md embeds it verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "render_distribution"]
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width table with a rule under the header."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(times: Sequence[float],
+                  series: Mapping[str, Sequence[float]],
+                  every: int = 1,
+                  time_label: str = "t",
+                  title: Optional[str] = None) -> str:
+    """Multiple aligned series as a table, one row per (subsampled)
+    time point — the textual form of a figure."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(times):
+            raise ValueError(f"series {name!r} length mismatch")
+    headers = [time_label] + names
+    rows = []
+    for i in range(0, len(times), max(1, every)):
+        rows.append([times[i]] + [series[name][i] for name in names])
+    return render_table(headers, rows, title=title)
+
+
+def render_distribution(counts: Mapping[int, float],
+                        width: int = 50,
+                        title: Optional[str] = None) -> str:
+    """Horizontal bar chart of a per-rank distribution (Figure 5 as
+    ASCII)."""
+    if not counts:
+        raise ValueError("empty distribution")
+    peak = max(counts.values())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for rank in sorted(counts):
+        v = counts[rank]
+        bar = "#" * (int(round(width * v / peak)) if peak > 0 else 0)
+        lines.append(f"rank {rank:>3} | {bar:<{width}} {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

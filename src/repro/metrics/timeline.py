@@ -1,0 +1,110 @@
+"""Step-function time series.
+
+Active-server counts (Figures 2, 8, 9) and throughput samples
+(Figures 3, 7) are step-wise constant signals; :class:`StepSeries`
+stores them as parallel arrays and provides the integral / resample
+operations the machine-hour accounting and the plots need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StepSeries"]
+
+
+class StepSeries:
+    """``value[i]`` holds from ``time[i]`` until ``time[i+1]``.
+
+    Times must be strictly increasing.  The series is immutable once
+    built via :meth:`from_points`; the incremental builder
+    (:meth:`append`) coalesces repeated values.
+    """
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    @classmethod
+    def from_points(cls, times: Sequence[float],
+                    values: Sequence[float]) -> "StepSeries":
+        if len(times) != len(values):
+            raise ValueError("times and values must have equal length")
+        s = cls()
+        for t, v in zip(times, values):
+            s.append(t, v)
+        return s
+
+    def append(self, t: float, value: float) -> None:
+        if self._times and t <= self._times[-1]:
+            raise ValueError(
+                f"times must be strictly increasing: {t} <= {self._times[-1]}")
+        if self._values and self._values[-1] == value:
+            return  # coalesce: step functions only change on change
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def value_at(self, t: float) -> float:
+        """The step value in effect at time *t* (before the first
+        breakpoint the first value is assumed)."""
+        if not self._times:
+            raise ValueError("empty series")
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        return self._values[max(0, idx)]
+
+    # ------------------------------------------------------------------
+    def integral(self, t0: float, t1: float) -> float:
+        """∫ value dt over [t0, t1] — machine-seconds when the value is
+        an active-server count."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if not self._times:
+            raise ValueError("empty series")
+        total = 0.0
+        ts = self._times
+        vs = self._values
+        n = len(ts)
+        for i in range(n):
+            seg_start = ts[i]
+            seg_end = ts[i + 1] if i + 1 < n else t1
+            lo = max(seg_start, t0)
+            hi = min(seg_end, t1)
+            if hi > lo:
+                total += vs[i] * (hi - lo)
+        # Before the first breakpoint, extend the first value backwards.
+        if t0 < ts[0]:
+            total += vs[0] * (min(t1, ts[0]) - t0)
+        return total
+
+    def mean(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            raise ValueError("t1 must be > t0")
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def sample(self, grid: Iterable[float]) -> np.ndarray:
+        """Values at each grid point (for aligned comparison of two
+        series)."""
+        return np.array([self.value_at(t) for t in grid])
+
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))

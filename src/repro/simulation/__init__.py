@@ -1,0 +1,29 @@
+"""The testbed substitute: a discrete-event simulation core and a fluid
+(max-min fair-share) IO bandwidth model.
+
+The paper's Figures 2, 3 and 7 are produced by contention between
+foreground client IO and background recovery/migration traffic on the
+storage servers' disks.  We reproduce them with:
+
+* :class:`Simulator` — a deterministic event-driven clock;
+* :func:`max_min_fair` — progressive-filling max-min fair allocation of
+  per-server disk bandwidth among flows with per-resource coefficients;
+* :class:`FlowSet`/:class:`FluidFlow` — foreground and background flows
+  (client IO, re-replication, re-integration) as fluid demands;
+* :class:`IOModel` — the per-tick loop gluing flows to capacities and
+  recording throughput timelines.
+"""
+
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.bandwidth import max_min_fair
+from repro.simulation.flows import FluidFlow, FlowSet
+from repro.simulation.iomodel import IOModel
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "max_min_fair",
+    "FluidFlow",
+    "FlowSet",
+    "IOModel",
+]

@@ -1,0 +1,141 @@
+"""A minimal deterministic discrete-event simulation core.
+
+Nothing storage-specific lives here: just a clock, a priority queue of
+events, cancellation, and a periodic-callback helper.  Determinism is
+guaranteed by a monotonically increasing sequence number that breaks
+ties between events scheduled for the same instant (insertion order
+wins), so simulations are reproducible bit-for-bit regardless of heap
+internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`
+    so callers can :meth:`cancel` it."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 fn: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (O(1); the heap entry is
+        skipped lazily when popped)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The event loop.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> _ = sim.schedule(5.0, hits.append, "a")
+    >>> _ = sim.schedule(2.0, hits.append, "b")
+    >>> sim.run()
+    >>> hits
+    ['b', 'a']
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Run ``fn(*args)`` *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, t: float, fn: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute time *t* (>= now)."""
+        if t < self.now:
+            raise ValueError(f"cannot schedule at {t} < now={self.now}")
+        ev = Event(t, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def every(self, interval: float, fn: Callable[..., Any],
+              *args: Any, until: Optional[float] = None) -> Event:
+        """Periodic callback every *interval* seconds, first firing one
+        interval from now, stopping after *until* (inclusive).  Returns
+        the first event; cancelling a fired chain requires cancelling
+        the event returned to *fn* — for simplicity, periodic chains
+        stop via *until* or by the callback raising ``StopIteration``.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            try:
+                fn(*args)
+            except StopIteration:
+                return
+            nxt = self.now + interval
+            if until is None or nxt <= until:
+                self.schedule_at(nxt, tick)
+
+        return self.schedule(interval, tick)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is
+        empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self) -> None:
+        """Drain the event queue."""
+        while self.step():
+            pass
+
+    def run_until(self, t: float) -> None:
+        """Execute events up to and including time *t*, then set the
+        clock to *t*."""
+        if t < self.now:
+            raise ValueError(f"cannot run backwards to {t}")
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > t:
+                break
+            self.step()
+        self.now = t

@@ -1,0 +1,175 @@
+"""Filebench-style workload personalities.
+
+The paper drives its testbed with Filebench (§V-A): a *personality*
+describes files, threads, IO sizes and per-second rate limits, and the
+tool synthesises the corresponding IO stream.  This module models the
+subset the evaluation needs: a personality compiles down to a
+:class:`~repro.workloads.three_phase.Phase` (the fluid-model unit),
+with IO-size-aware throughput derating — a spindle that sustains
+100 MB/s streaming manages far less at 4 KiB ops, and the rate at
+which a personality can *offer* load reflects that.
+
+The three §V-A phases are provided as predefined personalities, plus
+the classic Filebench trio (fileserver / webserver / varmail) for the
+extra example scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workloads.three_phase import Phase
+
+__all__ = [
+    "FilebenchPersonality",
+    "SEQ_WRITER",
+    "RATE_LIMITED_MIXED",
+    "READ_MOSTLY",
+    "FILESERVER",
+    "WEBSERVER",
+    "VARMAIL",
+    "paper_three_phase",
+]
+
+KB = 1024
+MB = 10 ** 6
+GB = 10 ** 9
+
+
+@dataclass(frozen=True)
+class FilebenchPersonality:
+    """One workload personality.
+
+    Attributes
+    ----------
+    name:
+        Label ("fileserver", ...).
+    nfiles / filesize:
+        Working-set shape; the product is the default byte total a
+        phase transfers.
+    iosize:
+        Per-operation transfer size.
+    nthreads:
+        Concurrent streams (bounds achievable parallel IOPS).
+    write_ratio:
+        Fraction of transferred bytes that are writes.
+    rate_ops:
+        Filebench's ``rate`` attribute — operations per second cap
+        (``None`` = unthrottled).
+    """
+
+    name: str
+    nfiles: int
+    filesize: int
+    iosize: int
+    nthreads: int = 1
+    write_ratio: float = 0.5
+    rate_ops: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for field_name in ("nfiles", "filesize", "iosize", "nthreads"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        if self.rate_ops is not None and self.rate_ops <= 0:
+            raise ValueError("rate_ops must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def working_set_bytes(self) -> int:
+        return self.nfiles * self.filesize
+
+    def rate_cap_bytes(self) -> Optional[float]:
+        """Byte-rate implied by the ``rate`` attribute."""
+        if self.rate_ops is None:
+            return None
+        return self.rate_ops * self.iosize
+
+    def effective_throughput(self, streaming_bw: float,
+                             per_op_latency: float = 0.008) -> float:
+        """Offered throughput against one spindle-class device.
+
+        Small IOs pay a per-operation cost (seek + rotation, ~8 ms on
+        the testbed's HDDs); *nthreads* ops overlap.  The achievable
+        rate is the smaller of the streaming bandwidth and the
+        IOPS-bound rate, further capped by the ``rate`` attribute.
+        """
+        if streaming_bw <= 0 or per_op_latency <= 0:
+            raise ValueError("bandwidth and latency must be positive")
+        iops_bound = self.nthreads * self.iosize / per_op_latency
+        rate = min(streaming_bw, iops_bound)
+        cap = self.rate_cap_bytes()
+        if cap is not None:
+            rate = min(rate, cap)
+        return rate
+
+    # ------------------------------------------------------------------
+    def to_phase(self, total_bytes: Optional[float] = None,
+                 phase_name: Optional[str] = None) -> Phase:
+        """Compile to a fluid-model phase.
+
+        *total_bytes* defaults to one pass over the working set.
+        """
+        return Phase(
+            name=phase_name or self.name,
+            total_bytes=float(total_bytes if total_bytes is not None
+                              else self.working_set_bytes),
+            write_ratio=self.write_ratio,
+            rate_cap=self.rate_cap_bytes(),
+        )
+
+
+# ----------------------------------------------------------------------
+# The paper's three phases (§V-A), as personalities.
+# ----------------------------------------------------------------------
+
+#: Phase 1: "sequentially write 2 GB of data to 7 files".
+SEQ_WRITER = FilebenchPersonality(
+    name="seq-writer", nfiles=7, filesize=2 * GB, iosize=1 * MB,
+    nthreads=7, write_ratio=1.0)
+
+#: Phase 2: rate-limited mix, 4.2 GB read + 8.4 GB written at 20 MB/s.
+RATE_LIMITED_MIXED = FilebenchPersonality(
+    name="rate-limited-mixed", nfiles=7, filesize=int(1.8 * GB),
+    iosize=64 * KB, nthreads=4, write_ratio=8.4 / 12.6,
+    rate_ops=20 * MB / (64 * KB))
+
+#: Phase 3: "similar to the first phase, except that the write ratio
+#: was 20%".
+READ_MOSTLY = FilebenchPersonality(
+    name="read-mostly", nfiles=7, filesize=2 * GB, iosize=1 * MB,
+    nthreads=7, write_ratio=0.2)
+
+
+def paper_three_phase(scale: float = 1.0) -> list[Phase]:
+    """The §V-A workload via personalities — byte-identical to
+    :func:`repro.workloads.three_phase.three_phase_workload`."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return [
+        SEQ_WRITER.to_phase(total_bytes=14 * GB * scale,
+                            phase_name="phase1"),
+        RATE_LIMITED_MIXED.to_phase(total_bytes=12.6 * GB * scale,
+                                    phase_name="phase2"),
+        READ_MOSTLY.to_phase(total_bytes=14 * GB * scale,
+                             phase_name="phase3"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Classic Filebench personalities, for extra scenarios.
+# ----------------------------------------------------------------------
+
+FILESERVER = FilebenchPersonality(
+    name="fileserver", nfiles=10_000, filesize=128 * KB,
+    iosize=64 * KB, nthreads=50, write_ratio=0.33)
+
+WEBSERVER = FilebenchPersonality(
+    name="webserver", nfiles=100_000, filesize=16 * KB,
+    iosize=16 * KB, nthreads=100, write_ratio=0.05)
+
+VARMAIL = FilebenchPersonality(
+    name="varmail", nfiles=50_000, filesize=8 * KB,
+    iosize=8 * KB, nthreads=16, write_ratio=0.5)

@@ -1,0 +1,115 @@
+"""Migration planning and the token bucket."""
+
+import pytest
+
+from repro.cluster.cluster import ElasticCluster, OriginalCHCluster
+from repro.cluster.migration import (
+    TokenBucket,
+    addition_migration_plan,
+    full_reintegration_plan,
+)
+
+MB4 = 4 * 1024 * 1024
+
+
+class TestTokenBucket:
+    def test_grant_accrues_rate(self):
+        tb = TokenBucket(rate_bytes_per_s=100, burst_bytes=1000)
+        tb.grant(0)  # drain the initial burst
+        assert tb.grant(1.0) == 100
+
+    def test_burst_cap(self):
+        tb = TokenBucket(rate_bytes_per_s=100, burst_bytes=250)
+        assert tb.grant(100.0) == 250
+
+    def test_initial_balance_is_burst(self):
+        tb = TokenBucket(rate_bytes_per_s=10, burst_bytes=500)
+        assert tb.grant(0.0) == 500
+
+    def test_refund(self):
+        tb = TokenBucket(rate_bytes_per_s=100, burst_bytes=1000)
+        tb.grant(0)
+        tb.refund(300)
+        assert tb.grant(0.0) == 300
+
+    def test_refund_capped_at_burst(self):
+        tb = TokenBucket(rate_bytes_per_s=100, burst_bytes=100)
+        tb.refund(10_000)
+        assert tb.grant(0.0) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0)
+        tb = TokenBucket(10)
+        with pytest.raises(ValueError):
+            tb.grant(-1)
+        with pytest.raises(ValueError):
+            tb.refund(-1)
+
+    def test_long_run_rate_respected(self):
+        tb = TokenBucket(rate_bytes_per_s=50, burst_bytes=50)
+        total = sum(tb.grant(1.0) for _ in range(100))
+        assert total <= 50 * 101  # burst + 100s of rate
+
+
+class TestFullReintegrationPlan:
+    def test_plan_matches_run(self):
+        a = ElasticCluster(n=10, replicas=2)
+        b = ElasticCluster(n=10, replicas=2)
+        for cl in (a, b):
+            for oid in range(200):
+                cl.write(oid, MB4)
+            cl.resize(6)
+            for oid in range(200, 250):
+                cl.write(oid, MB4)
+            cl.resize(10)
+        plan = full_reintegration_plan(a)
+        moved = b.run_full_reintegration()
+        assert plan.total_bytes == moved
+
+    def test_empty_when_layout_clean(self, loaded_elastic10):
+        plan = full_reintegration_plan(loaded_elastic10)
+        assert plan.total_bytes == 0
+        assert plan.num_objects == 0
+
+    def test_bytes_per_destination(self, elastic10):
+        for oid in range(100):
+            elastic10.write(oid, MB4)
+        elastic10.resize(6)
+        for oid in range(100, 150):
+            elastic10.write(oid, MB4)
+        elastic10.resize(10)
+        plan = full_reintegration_plan(elastic10)
+        per_dest = plan.bytes_per_destination()
+        assert sum(per_dest.values()) == plan.total_bytes
+        # The re-powered ranks are destinations.
+        assert any(r in per_dest for r in (7, 8, 9, 10))
+
+
+class TestAdditionPlan:
+    def test_single_server_plan_matches_actual(self, loaded_original10):
+        loaded_original10.remove_server(10)
+        plan = addition_migration_plan(loaded_original10, [10])
+        assert plan.total_bytes == loaded_original10.add_server(10)
+
+    def test_batched_plan_bounds_sequential_additions(self,
+                                                      loaded_original10):
+        """Adding two servers one at a time migrates at least as much
+        as the batched plan: the intermediate ring moves some objects
+        twice."""
+        loaded_original10.remove_server(10)
+        loaded_original10.remove_server(9)
+        plan = addition_migration_plan(loaded_original10, [9, 10])
+        actual = loaded_original10.add_server(9) + \
+            loaded_original10.add_server(10)
+        assert plan.total_bytes <= actual
+
+    def test_plan_is_pure(self, loaded_original10):
+        loaded_original10.remove_server(10)
+        before = loaded_original10.replicas_per_rank()
+        addition_migration_plan(loaded_original10, [10])
+        assert loaded_original10.replicas_per_rank() == before
+
+    def test_member_rank_rejected(self, loaded_original10):
+        with pytest.raises(KeyError):
+            addition_migration_plan(loaded_original10, [5])

@@ -1,0 +1,80 @@
+"""DataObject headers and the catalog."""
+
+import pytest
+
+from repro.cluster.objects import DEFAULT_OBJECT_SIZE, DataObject, ObjectCatalog
+
+
+class TestDataObject:
+    def test_defaults(self):
+        obj = DataObject(oid=1)
+        assert obj.size == DEFAULT_OBJECT_SIZE == 4 * 1024 * 1024
+        assert obj.version == 1
+        assert not obj.dirty
+
+    def test_touch_advances_header(self):
+        obj = DataObject(oid=1)
+        obj.touch(version=3, dirty=True)
+        assert obj.version == 3 and obj.dirty
+
+    def test_touch_rejects_version_regression(self):
+        obj = DataObject(oid=1, version=5)
+        with pytest.raises(ValueError):
+            obj.touch(version=4, dirty=False)
+
+
+class TestObjectCatalog:
+    def test_create(self):
+        cat = ObjectCatalog()
+        obj = cat.create_or_touch(1, 100, version=1, dirty=False)
+        assert obj.oid == 1
+        assert len(cat) == 1
+        assert cat.total_bytes == 100
+        assert 1 in cat
+
+    def test_touch_existing(self):
+        cat = ObjectCatalog()
+        cat.create_or_touch(1, 100, version=1, dirty=False)
+        obj = cat.create_or_touch(1, 100, version=2, dirty=True)
+        assert obj.version == 2 and obj.dirty
+        assert len(cat) == 1
+
+    def test_resize_adjusts_total(self):
+        cat = ObjectCatalog()
+        cat.create_or_touch(1, 100, version=1, dirty=False)
+        cat.create_or_touch(1, 250, version=2, dirty=False)
+        assert cat.total_bytes == 250
+
+    def test_get_and_getitem(self):
+        cat = ObjectCatalog()
+        cat.create_or_touch(7, 10, 1, False)
+        assert cat.get(7).oid == 7
+        assert cat[7].oid == 7
+        assert cat.get(8) is None
+        with pytest.raises(KeyError):
+            cat[8]
+
+    def test_remove(self):
+        cat = ObjectCatalog()
+        cat.create_or_touch(1, 100, 1, False)
+        removed = cat.remove(1)
+        assert removed.oid == 1
+        assert cat.total_bytes == 0
+        assert 1 not in cat
+
+    def test_dirty_oids(self):
+        cat = ObjectCatalog()
+        cat.create_or_touch(1, 10, 1, dirty=True)
+        cat.create_or_touch(2, 10, 1, dirty=False)
+        assert cat.dirty_oids() == [1]
+
+    def test_size_of_oracle(self):
+        cat = ObjectCatalog()
+        cat.create_or_touch(1, 123, 1, False)
+        assert cat.size_of(1) == 123
+
+    def test_iteration(self):
+        cat = ObjectCatalog()
+        for oid in range(5):
+            cat.create_or_touch(oid, 10, 1, False)
+        assert sorted(o.oid for o in cat) == list(range(5))

@@ -1,0 +1,95 @@
+"""Facade-level failure bookkeeping (mark_failed / mark_repaired) and
+the corner cases around locate_current_replicas."""
+
+import pytest
+
+from repro.core.elastic import ElasticConsistentHash
+
+
+class TestMarkFailed:
+    def test_creates_version_excluding_rank(self, ech10):
+        t = ech10.mark_failed(7)
+        assert t.version == 2
+        assert not t.is_active(7)
+
+    def test_failed_while_inactive_is_versionless(self, ech10):
+        ech10.set_active(5)
+        v = ech10.current_version
+        t = ech10.mark_failed(9)   # rank 9 was already off
+        assert t.version == v
+        assert 9 in ech10.failed
+
+    def test_chain_skips_failed_on_resize(self, ech10):
+        ech10.mark_failed(3)
+        ech10.set_active(5)
+        assert ech10.membership.active_ranks() == [1, 2, 4, 5, 6]
+
+    def test_repair_restores_chain_position(self, ech10):
+        ech10.mark_failed(3)
+        ech10.set_active(5)
+        ech10.mark_repaired(3)
+        ech10.set_active(5)
+        assert ech10.membership.active_ranks() == [1, 2, 3, 4, 5]
+
+    def test_double_fail_rejected(self, ech10):
+        ech10.mark_failed(7)
+        with pytest.raises(ValueError):
+            ech10.mark_failed(7)
+
+    def test_unknown_rank_rejected(self, ech10):
+        with pytest.raises(KeyError):
+            ech10.mark_failed(42)
+
+    def test_repair_of_healthy_rejected(self, ech10):
+        with pytest.raises(ValueError):
+            ech10.mark_repaired(5)
+
+    def test_failing_everything_rejected(self):
+        ech = ElasticConsistentHash(n=2, replicas=2, p=1)
+        ech.mark_failed(2)
+        with pytest.raises(RuntimeError):
+            ech.mark_failed(1)
+
+    def test_placement_avoids_failed_rank(self, ech10):
+        ech10.mark_failed(4)
+        for oid in range(200):
+            assert 4 not in ech10.locate(oid).servers
+
+    def test_failed_primary_degrades_placements(self, ech10):
+        ech10.mark_failed(1)
+        degraded = 0
+        for oid in range(200):
+            res = ech10.locate(oid)
+            assert 1 not in res.servers
+            primaries = sum(1 for s in res.servers
+                            if ech10.is_primary(s))
+            # Only rank 2 remains primary; every object still gets
+            # exactly one copy there unless degraded.
+            if res.degraded:
+                degraded += 1
+            else:
+                assert primaries == 1
+        assert degraded == 0  # one primary is still enough for r=2
+
+
+class TestLocateCurrentReplicas:
+    def test_unwritten_object_rejected(self, ech10):
+        with pytest.raises(KeyError):
+            ech10.locate_current_replicas(999)
+
+    def test_tracks_write_version(self, ech10):
+        ech10.set_active(5)
+        ech10.record_write(42)
+        ech10.set_active(10)
+        # Still located via the write version until re-integration.
+        assert (ech10.locate_current_replicas(42).servers
+                == ech10.locate(42, version=2).servers)
+
+    def test_advances_with_partial_reintegration(self, ech10):
+        from repro.core.reintegration import ReintegrationEngine
+        ech10.set_active(5)
+        ech10.record_write(42)
+        ech10.set_active(8)
+        ReintegrationEngine(ech10).step()
+        assert (ech10.locate_current_replicas(42).servers
+                == ech10.locate(42, version=3).servers)

@@ -1,0 +1,39 @@
+"""DESIGN.md invariant 10: same inputs → bit-identical simulations."""
+
+import numpy as np
+
+from repro.experiments import (
+    run_layout_versions,
+    run_resize_agility,
+    run_three_phase,
+    run_trace_analysis,
+)
+
+
+class TestDeterminism:
+    def test_three_phase_repeatable(self):
+        a = run_three_phase("selective", scale=0.05)
+        b = run_three_phase("selective", scale=0.05)
+        assert a.throughput == b.throughput
+        assert a.phase_ends == b.phase_ends
+        assert a.migrated_bytes == b.migrated_bytes
+
+    def test_resize_agility_repeatable(self):
+        a = run_resize_agility(objects=300)
+        b = run_resize_agility(objects=300)
+        assert a.original_ch.points() == b.original_ch.points()
+        assert a.recovery_bytes == b.recovery_bytes
+
+    def test_layout_versions_repeatable(self):
+        a = run_layout_versions(objects_v1=1_000, objects_v2=1_200)
+        b = run_layout_versions(objects_v1=1_000, objects_v2=1_200)
+        assert a.distributions == b.distributions
+        assert a.reintegration_bytes == b.reintegration_bytes
+
+    def test_trace_analysis_repeatable(self):
+        a = run_trace_analysis("CC-a")
+        b = run_trace_analysis("CC-a")
+        assert np.array_equal(a.trace.load, b.trace.load)
+        for name in a.analysis.results:
+            assert np.array_equal(a.analysis.results[name].servers,
+                                  b.analysis.results[name].servers)

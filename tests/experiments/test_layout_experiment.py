@@ -1,0 +1,61 @@
+"""Figure 5's experiment: layout shape across versions."""
+
+import pytest
+
+from repro.experiments import run_layout_versions
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_layout_versions(objects_v1=6_000, objects_v2=8_000)
+
+
+class TestVersion1:
+    def test_matches_equal_work_shape(self, result):
+        assert result.v1_shape_correlation > 0.99
+
+    def test_monotone_non_increasing(self, result):
+        # Primaries are statistically equal, so check the equal-work
+        # decay over the secondary ranks only.
+        dist = result.distributions["version1 (full power)"]
+        secondaries = [dist[r] for r in range(result.p + 1, result.n + 1)]
+        assert secondaries == sorted(secondaries, reverse=True)
+
+    def test_primaries_hold_half(self, result):
+        dist = result.distributions["version1 (full power)"]
+        total = sum(dist.values())
+        primary = sum(dist[r] for r in range(1, result.p + 1))
+        assert primary / total == pytest.approx(0.5, abs=0.02)
+
+
+class TestVersion2:
+    def test_off_servers_frozen(self, result):
+        v1 = result.distributions["version1 (full power)"]
+        v2 = result.distributions["version2 (shrunk)"]
+        for rank in (9, 10):
+            assert v2[rank] == v1[rank]
+
+    def test_active_servers_absorb_writes(self, result):
+        v1 = result.distributions["version1 (full power)"]
+        v2 = result.distributions["version2 (shrunk)"]
+        for rank in range(1, 9):
+            assert v2[rank] > v1[rank]
+
+
+class TestVersion3:
+    def test_reintegration_refills_tail(self, result):
+        v2 = result.distributions["version2 (shrunk)"]
+        v3 = result.distributions["version3 (re-integrated)"]
+        for rank in (9, 10):
+            assert v3[rank] > v2[rank]
+
+    def test_shape_recovered(self, result):
+        dist = result.distributions["version3 (re-integrated)"]
+        secondaries = [dist[r] for r in range(result.p + 1, result.n + 1)]
+        assert secondaries == sorted(secondaries, reverse=True)
+
+    def test_migration_volume_positive_but_partial(self, result):
+        """Only the offloaded tail moves — far less than the v2 write
+        volume."""
+        assert result.reintegration_objects > 0
+        assert result.reintegration_objects < 8_000

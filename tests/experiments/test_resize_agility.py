@@ -1,0 +1,59 @@
+"""Figure 2's experiment: qualitative shape assertions."""
+
+import pytest
+
+from repro.experiments import run_resize_agility
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_resize_agility(objects=800)
+
+
+class TestIdealPattern:
+    def test_ideal_descends_to_two_then_recovers(self, result):
+        vals = [v for _, v in result.ideal.points()]
+        assert vals[0] == 10
+        assert min(vals) == 2
+        assert vals[-1] == 10
+
+    def test_ideal_steps_every_30s(self, result):
+        times = [t for t, _ in result.ideal.points()]
+        assert times[:3] == [0.0, 30.0, 60.0]
+
+
+class TestOriginalCH:
+    def test_lags_the_ideal_when_shrinking(self, result):
+        """The paper's core observation: CH 'lags behind when sizing
+        down the cluster'."""
+        assert result.lag_seconds() > 60.0
+
+    def test_never_below_ideal_when_shrinking(self, result):
+        half = result.duration / 2
+        for t in range(0, int(half), 10):
+            assert (result.original_ch.value_at(t)
+                    >= result.ideal.value_at(t))
+
+    def test_catches_up_when_sizing_up(self, result):
+        assert result.original_ch.value_at(result.duration) == 10
+
+    def test_recovery_work_was_paid(self, result):
+        assert len(result.recovery_bytes) >= 1
+        assert all(b > 0 for b in result.recovery_bytes)
+
+
+class TestElastic:
+    def test_tracks_ideal_exactly(self, result):
+        assert result.elastic_lag_seconds() == pytest.approx(0.0)
+
+    def test_matches_ideal_pointwise(self, result):
+        for t in range(0, int(result.duration), 15):
+            assert (result.elastic.value_at(t)
+                    == result.ideal.value_at(t))
+
+
+class TestScaling:
+    def test_more_data_means_more_lag(self):
+        small = run_resize_agility(objects=300)
+        large = run_resize_agility(objects=1500)
+        assert large.lag_seconds() > small.lag_seconds()

@@ -1,0 +1,83 @@
+"""ShardedKVStore: routing stability, fan-out ops, list locality."""
+
+import pytest
+
+from repro.kvstore.sharded import ShardedKVStore
+
+
+@pytest.fixture
+def store():
+    return ShardedKVStore(["s1", "s2", "s3", "s4"])
+
+
+class TestRouting:
+    def test_requires_shards(self):
+        with pytest.raises(ValueError):
+            ShardedKVStore([])
+
+    def test_routing_is_stable(self, store):
+        assert store.shard_for("key-x") == store.shard_for("key-x")
+
+    def test_keys_spread_over_shards(self, store):
+        owners = {store.shard_for(f"key-{i}") for i in range(200)}
+        assert len(owners) == 4
+
+    def test_roughly_balanced(self, store):
+        from collections import Counter
+        counts = Counter(store.shard_for(f"key-{i}") for i in range(2000))
+        assert max(counts.values()) / min(counts.values()) < 2.5
+
+
+class TestRoutedCommands:
+    def test_set_get_roundtrip(self, store):
+        store.set("k", "v")
+        assert store.get("k") == "v"
+        assert store.exists("k")
+
+    def test_value_lands_on_owning_shard_only(self, store):
+        store.set("k", "v")
+        owner = store.shard_for("k")
+        for sid in store.shard_ids:
+            if sid == owner:
+                assert store.shard(sid).get("k") == "v"
+            else:
+                assert not store.shard(sid).exists("k")
+
+    def test_list_stays_on_one_shard(self, store):
+        store.rpush("list-key", 1, 2, 3)
+        holders = [sid for sid in store.shard_ids
+                   if store.shard(sid).llen("list-key")]
+        assert len(holders) == 1
+        assert store.lrange("list-key", 0, -1) == [1, 2, 3]
+
+    def test_list_ops_route_consistently(self, store):
+        store.rpush("l", "a", "b")
+        store.lpush("l", "z")
+        assert store.lpop("l") == "z"
+        assert store.rpop("l") == "b"
+        assert store.llen("l") == 1
+        assert store.lindex("l", 0) == "a"
+        assert store.lrem("l", 0, "a") == 1
+
+    def test_incr_and_delete(self, store):
+        assert store.incr("c") == 1
+        assert store.delete("c") is True
+
+
+class TestFanOut:
+    def test_keys_aggregates_all_shards(self, store):
+        for i in range(20):
+            store.set(f"k{i}", i)
+        assert sorted(store.keys()) == sorted(f"k{i}" for i in range(20))
+
+    def test_dbsize(self, store):
+        for i in range(10):
+            store.set(f"k{i}", i)
+        assert store.dbsize() == 10
+
+    def test_flushall(self, store):
+        for i in range(10):
+            store.rpush("l", i)
+            store.set(f"k{i}", i)
+        store.flushall()
+        assert store.dbsize() == 0

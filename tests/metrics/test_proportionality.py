@@ -1,0 +1,83 @@
+"""Measured read-performance proportionality (§III-C's claim)."""
+
+import pytest
+
+from repro.core.elastic import ElasticConsistentHash
+from repro.metrics.proportionality import (
+    holder_groups,
+    proportionality_curve,
+    read_capacity,
+)
+
+PROBE = range(1_500)
+BW = 64e6
+
+
+@pytest.fixture(scope="module")
+def equal_work():
+    return ElasticConsistentHash(n=10, replicas=2)
+
+
+class TestHolderGroups:
+    def test_full_power_all_available(self, equal_work):
+        groups, total, unavailable = holder_groups(
+            equal_work, frozenset(range(1, 11)), PROBE)
+        assert total == len(list(PROBE))
+        assert unavailable == 0
+        assert sum(groups.values()) == total
+
+    def test_primaries_only_still_available(self, equal_work):
+        """The primary guarantee: every object readable at k=p."""
+        groups, _total, unavailable = holder_groups(
+            equal_work, frozenset([1, 2]), PROBE)
+        assert unavailable == 0
+        # All groups are subsets of the primaries.
+        assert all(h <= {1, 2} for h in groups)
+
+    def test_uniform_original_loses_objects_at_small_k(self):
+        ech = ElasticConsistentHash(n=10, replicas=2,
+                                    layout_mode="uniform",
+                                    placement_mode="original")
+        _g, _t, unavailable = holder_groups(
+            ech, frozenset([1, 2]), PROBE)
+        assert unavailable > 0
+
+
+class TestReadCapacity:
+    def test_full_power_close_to_aggregate(self, equal_work):
+        cap = read_capacity(equal_work, 10, BW, PROBE)
+        assert cap == pytest.approx(10 * BW, rel=0.15)
+
+    def test_monotone_in_k(self, equal_work):
+        caps = [read_capacity(equal_work, k, BW, PROBE)
+                for k in (2, 5, 8, 10)]
+        assert caps == sorted(caps)
+
+    def test_equal_work_is_proportional(self, equal_work):
+        """§III-C: capacity(k) ≈ (k/n) * capacity(n) for all legal k."""
+        curve = proportionality_curve(equal_work, BW, PROBE)
+        full = curve[10]
+        for k, cap in curve.items():
+            ratio = cap / (full * k / 10)
+            assert 0.8 < ratio < 1.25, (k, ratio)
+
+    def test_uniform_layout_is_not_proportional(self):
+        """The contrast that motivates §III-C: uniform weights with
+        primary placement sag well below proportional mid-range."""
+        ech = ElasticConsistentHash(n=10, replicas=2,
+                                    layout_mode="uniform")
+        curve = proportionality_curve(ech, BW, PROBE, ks=[5, 10])
+        ratio = curve[5] / (curve[10] * 0.5)
+        assert ratio < 0.8
+
+    def test_unavailable_mix_capacity_zero(self):
+        ech = ElasticConsistentHash(n=10, replicas=2,
+                                    layout_mode="uniform",
+                                    placement_mode="original")
+        assert read_capacity(ech, 2, BW, PROBE) == 0.0
+
+    def test_k_out_of_range(self, equal_work):
+        with pytest.raises(ValueError):
+            read_capacity(equal_work, 0)
+        with pytest.raises(ValueError):
+            read_capacity(equal_work, 11)

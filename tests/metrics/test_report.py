@@ -1,0 +1,64 @@
+"""ASCII report rendering."""
+
+import pytest
+
+from repro.metrics.report import render_distribution, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "bb" in lines[3]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table II")
+        assert out.splitlines()[0] == "Table II"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1.2345], [0.0001], [12345.6]])
+        assert "1.23" in out
+        assert "0.0001" in out
+
+    def test_columns_aligned(self):
+        out = render_table(["col", "другой"], [["longvalue", 2]])
+        header, rule, row = out.splitlines()
+        assert len(rule) == len(header.rstrip()) or len(rule) >= len("col")
+
+
+class TestRenderSeries:
+    def test_one_row_per_time(self):
+        out = render_series([0, 1, 2], {"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert len(out.splitlines()) == 2 + 3
+
+    def test_subsampling(self):
+        out = render_series(list(range(10)), {"a": list(range(10))},
+                            every=5)
+        assert len(out.splitlines()) == 2 + 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([0, 1], {"a": [1]})
+
+
+class TestRenderDistribution:
+    def test_bars_scale_to_peak(self):
+        out = render_distribution({1: 100, 2: 50}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_ranks_sorted(self):
+        out = render_distribution({3: 1, 1: 1, 2: 1})
+        ranks = [line.split()[1] for line in out.splitlines()]
+        assert ranks == ["1", "2", "3"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_distribution({})

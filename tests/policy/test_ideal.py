@@ -1,0 +1,41 @@
+"""The ideal resizing oracle."""
+
+import numpy as np
+import pytest
+
+from repro.policy.ideal import IdealPolicy, ideal_servers
+from repro.workloads.trace import LoadTrace
+
+
+class TestIdealServers:
+    def test_ceil_semantics(self):
+        load = np.array([0.0, 1.0, 99.0, 100.0, 101.0])
+        servers = ideal_servers(load, per_server_bw=100.0, n_max=10)
+        assert list(servers) == [1, 1, 1, 1, 2]
+
+    def test_clamped_to_n_max(self):
+        servers = ideal_servers(np.array([1e9]), 10.0, n_max=5)
+        assert servers[0] == 5
+
+    def test_n_min_respected(self):
+        servers = ideal_servers(np.array([0.0]), 10.0, n_max=5, n_min=2)
+        assert servers[0] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_servers(np.array([1.0]), 0.0, 5)
+        with pytest.raises(ValueError):
+            ideal_servers(np.array([1.0]), 1.0, 5, n_min=6)
+
+
+class TestIdealPolicy:
+    def test_machine_hours(self):
+        trace = LoadTrace(np.full(60, 100.0), dt=60.0)
+        policy = IdealPolicy(per_server_bw=50.0, n_max=10)
+        # 2 servers for 1 hour.
+        assert policy.machine_hours(trace) == pytest.approx(2.0)
+
+    def test_servers_series(self):
+        trace = LoadTrace(np.array([10.0, 200.0]), dt=60.0)
+        policy = IdealPolicy(per_server_bw=50.0, n_max=10)
+        assert list(policy.servers(trace)) == [1, 4]

@@ -1,0 +1,77 @@
+"""Property tests for the max-min fair allocator: feasibility,
+Pareto efficiency, and fairness."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.bandwidth import FlowSpec, max_min_fair
+
+resources = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def allocation_problem(draw):
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    caps = {r: draw(st.floats(min_value=1.0, max_value=1000.0))
+            for r in ["a", "b", "c", "d"]}
+    flows = []
+    for _ in range(n_flows):
+        used = draw(st.lists(resources, min_size=1, max_size=3,
+                             unique=True))
+        coeffs = {r: draw(st.floats(min_value=0.1, max_value=3.0))
+                  for r in used}
+        demand = draw(st.one_of(
+            st.just(math.inf),
+            st.floats(min_value=0.0, max_value=500.0)))
+        flows.append(FlowSpec(coefficients=coeffs, demand=demand))
+    return flows, caps
+
+
+class TestAllocatorProperties:
+    @given(problem=allocation_problem())
+    @settings(max_examples=200, deadline=None)
+    def test_feasible(self, problem):
+        flows, caps = problem
+        rates = max_min_fair(flows, caps)
+        for res, cap in caps.items():
+            used = sum(f.coefficients.get(res, 0.0) * r
+                       for f, r in zip(flows, rates))
+            assert used <= cap * (1 + 1e-6) + 1e-6
+
+    @given(problem=allocation_problem())
+    @settings(max_examples=200, deadline=None)
+    def test_demands_respected(self, problem):
+        flows, caps = problem
+        rates = max_min_fair(flows, caps)
+        for f, r in zip(flows, rates):
+            assert r <= f.demand + 1e-6
+            assert r >= 0.0
+
+    @given(problem=allocation_problem())
+    @settings(max_examples=200, deadline=None)
+    def test_pareto_no_slack_for_unsatisfied_flow(self, problem):
+        """If a flow got less than its demand, at least one of its
+        resources is saturated (no free lunch left behind)."""
+        flows, caps = problem
+        rates = max_min_fair(flows, caps)
+        used = {res: sum(f.coefficients.get(res, 0.0) * r
+                         for f, r in zip(flows, rates))
+                for res in caps}
+        for f, r in zip(flows, rates):
+            if r < f.demand - 1e-6:
+                assert any(
+                    used[res] >= caps[res] * (1 - 1e-6) - 1e-9
+                    for res in f.coefficients if res in caps
+                )
+
+    @given(problem=allocation_problem())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric_flows_get_equal_rates(self, problem):
+        """Duplicate a flow: both copies must receive the same rate."""
+        flows, caps = problem
+        twin = FlowSpec(coefficients=dict(flows[0].coefficients),
+                        demand=flows[0].demand)
+        rates = max_min_fair(flows + [twin], caps)
+        assert rates[0] == rates[-1] or abs(rates[0] - rates[-1]) < 1e-6

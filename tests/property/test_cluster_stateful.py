@@ -1,0 +1,119 @@
+"""Stateful property test: random lifecycles of an ElasticCluster.
+
+Hypothesis drives arbitrary interleavings of writes, resizes, partial
+and full re-integrations, crashes and repairs, checking the system's
+standing invariants after every step:
+
+* every object keeps r copies somewhere (crashes are recovered);
+* every object stays readable (>= 1 replica on an active server);
+* the dirty table only references objects that exist;
+* at full power, after selective re-integration runs to completion,
+  stored locations equal current placements and the table is empty.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import ElasticCluster
+
+OBJ = 1024  # small objects keep the machine fast
+
+
+class ElasticClusterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = ElasticCluster(n=8, replicas=2, B=2_000)
+        self.next_oid = 0
+        self.written = set()
+
+    # ------------------------------------------------------------------
+    @rule(count=st.integers(min_value=1, max_value=5))
+    def write_new_objects(self, count):
+        for _ in range(count):
+            self.cluster.write(self.next_oid, OBJ)
+            self.written.add(self.next_oid)
+            self.next_oid += 1
+
+    @precondition(lambda self: self.written)
+    @rule(data=st.data())
+    def overwrite_object(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.written)))
+        self.cluster.write(oid, OBJ)
+
+    @rule(k=st.integers(min_value=1, max_value=8))
+    def resize(self, k):
+        self.cluster.resize(k)
+
+    @rule()
+    def selective_reintegration(self):
+        self.cluster.run_selective_reintegration()
+
+    @rule()
+    def budgeted_reintegration(self):
+        self.cluster.run_selective_reintegration(budget_bytes=3 * OBJ)
+
+    @rule()
+    def full_reintegration(self):
+        self.cluster.run_full_reintegration()
+
+    @precondition(lambda self: len(self.cluster.ech.failed) == 0
+                  and self.written
+                  # The paper's operating assumption (§III-B): enough
+                  # active servers remain to hold r replicas after a
+                  # failure.  Crashing at minimum power with p == r is
+                  # outside the design envelope.
+                  and self.cluster.ech.num_active > self.cluster.replicas)
+    @rule(rank=st.integers(min_value=2, max_value=8))
+    def crash_and_repair(self, rank):
+        # Keep rank 1 alive so a primary always exists; repair
+        # immediately so sequences cannot crash everything at once.
+        if self.cluster.ech.membership.is_active(rank):
+            self.cluster.fail_server(rank)
+            self.cluster.repair_server(rank)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def replication_level_holds(self):
+        assert self.cluster.verify_replication(require_active=False) == []
+
+    @invariant()
+    def fsck_finds_no_structural_issues(self):
+        from repro.cluster.fsck import check_cluster
+        report = check_cluster(self.cluster)
+        assert report.clean, report.summary()
+
+    @invariant()
+    def all_objects_readable(self):
+        for oid in self.written:
+            _, available = self.cluster.read(oid)
+            assert available, f"object {oid} unavailable"
+
+    @invariant()
+    def dirty_table_references_real_objects(self):
+        for entry in self.cluster.ech.dirty.entries():
+            assert entry.oid in self.written
+
+    @invariant()
+    def full_power_quiescence(self):
+        if not self.cluster.ech.is_full_power:
+            return
+        report = self.cluster.run_selective_reintegration()
+        if report.caught_up:
+            assert self.cluster.ech.dirty.is_empty()
+            for oid in self.written:
+                stored = set(self.cluster.stored_locations(oid))
+                target = set(self.cluster.ech.locate(oid).servers)
+                assert stored == target, oid
+
+
+TestElasticClusterMachine = ElasticClusterMachine.TestCase
+TestElasticClusterMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)

@@ -1,0 +1,73 @@
+"""Property tests: the KV store's list type behaves like a deque, and
+sharding never changes observable semantics."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule, invariant
+
+from repro.kvstore.sharded import ShardedKVStore
+from repro.kvstore.store import KVStore
+
+values = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestListModel:
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["rpush", "lpush", "lpop", "rpop"]),
+                  values),
+        max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_deque_model(self, ops):
+        kv = KVStore()
+        model = deque()
+        for op, v in ops:
+            if op == "rpush":
+                kv.rpush("l", v)
+                model.append(v)
+            elif op == "lpush":
+                kv.lpush("l", v)
+                model.appendleft(v)
+            elif op == "lpop":
+                got = kv.lpop("l")
+                want = model.popleft() if model else None
+                assert got == want
+            elif op == "rpop":
+                got = kv.rpop("l")
+                want = model.pop() if model else None
+                assert got == want
+            assert kv.lrange("l", 0, -1) == list(model)
+            assert kv.llen("l") == len(model)
+
+    @given(items=st.lists(values, max_size=30),
+           start=st.integers(min_value=-35, max_value=35),
+           stop=st.integers(min_value=-35, max_value=35))
+    @settings(max_examples=200, deadline=None)
+    def test_lrange_matches_redis_model(self, items, start, stop):
+        kv = KVStore()
+        if items:
+            kv.rpush("l", *items)
+        n = len(items)
+        s = max(n + start, 0) if start < 0 else start
+        e = n + stop if stop < 0 else stop
+        e = min(e, n - 1)
+        expected = items[s:e + 1] if (n and s <= e and s < n) else []
+        assert kv.lrange("l", start, stop) == expected
+
+
+class TestShardingTransparency:
+    @given(kvs=st.lists(st.tuples(st.text(min_size=1, max_size=8),
+                                  values),
+                        max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_sharded_set_get_equals_plain(self, kvs):
+        plain = KVStore()
+        sharded = ShardedKVStore(["a", "b", "c"])
+        for k, v in kvs:
+            plain.set(k, v)
+            sharded.set(k, v)
+        for k, _ in kvs:
+            assert sharded.get(k) == plain.get(k)
+        assert sorted(sharded.keys()) == sorted(plain.keys())
+        assert sharded.dbsize() == plain.dbsize()

@@ -1,0 +1,80 @@
+"""Property tests for the equal-work layout and capacity planning."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import (
+    CapacityPlan,
+    EqualWorkLayout,
+    equal_work_weights,
+    primary_count,
+)
+
+ns = st.integers(min_value=2, max_value=300)
+budgets = st.integers(min_value=1_000, max_value=200_000)
+
+
+class TestPrimaryCountProperties:
+    @given(n=ns)
+    @settings(max_examples=200, deadline=None)
+    def test_formula_and_bounds(self, n):
+        p = primary_count(n)
+        assert p == max(1, math.ceil(n / math.e ** 2))
+        assert 1 <= p <= n
+
+    @given(n=ns)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_n(self, n):
+        assert primary_count(n + 1) >= primary_count(n)
+
+
+class TestWeightProperties:
+    @given(n=ns, B=budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_weights_positive_and_shaped(self, n, B):
+        if B < n:
+            return
+        w = equal_work_weights(n, B)
+        p = primary_count(n)
+        assert all(v >= 1 for v in w.values())
+        # Primaries all equal.
+        assert len({w[r] for r in range(1, p + 1)}) == 1
+        # Secondaries non-increasing in rank.
+        secondaries = [w[r] for r in range(p + 1, n + 1)]
+        assert secondaries == sorted(secondaries, reverse=True)
+        # Primary weight >= heaviest secondary (B/p >= B/(p+1)).
+        if secondaries:
+            assert w[1] >= secondaries[0]
+
+    @given(n=st.integers(min_value=2, max_value=60), B=budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_variant_is_flat(self, n, B):
+        lay = EqualWorkLayout.uniform(n, B=B)
+        assert len(set(lay.weights)) == 1
+
+
+class TestCapacityPlanProperties:
+    @given(n=st.integers(min_value=3, max_value=120))
+    @settings(max_examples=100, deadline=None)
+    def test_plan_contiguous_and_monotone(self, n):
+        lay = EqualWorkLayout.create(n)
+        plan = CapacityPlan.for_layout(lay)
+        caps = list(plan.capacities)
+        # Non-increasing with rank and drawn from the tier set.
+        assert caps == sorted(caps, reverse=True)
+        assert set(caps) <= set(plan.tiers)
+
+    @given(n=st.integers(min_value=3, max_value=120),
+           total=st.integers(min_value=10 ** 12, max_value=10 ** 15))
+    @settings(max_examples=100, deadline=None)
+    def test_plan_covers_demand_or_maxes_out(self, n, total):
+        lay = EqualWorkLayout.create(n)
+        plan = CapacityPlan.for_layout(lay, total_capacity=total)
+        fracs = lay.expected_fractions()
+        biggest = max(plan.tiers)
+        for rank in lay.ranks:
+            needed = fracs[rank] * total
+            assert (plan.capacity_of(rank) >= needed
+                    or plan.capacity_of(rank) == biggest)

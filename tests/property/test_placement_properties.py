@@ -1,0 +1,115 @@
+"""Property-based tests for the placement invariants (DESIGN.md §5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.elastic import ElasticConsistentHash
+from repro.core.layout import EqualWorkLayout, primary_count
+from repro.core.placement import place_original, place_primary
+from repro.hashring.ring import HashRing
+
+# Rings are expensive to build; cache by configuration.
+_ring_cache = {}
+
+
+def get_ring(n, B=2_000):
+    key = (n, B)
+    if key not in _ring_cache:
+        layout = EqualWorkLayout.create(n, B=B)
+        ring = HashRing()
+        for rank in layout.ranks:
+            ring.add_server(rank, weight=layout.weight_of(rank))
+        _ring_cache[key] = (ring, layout)
+    return _ring_cache[key]
+
+
+cluster_sizes = st.integers(min_value=4, max_value=24)
+oids = st.integers(min_value=0, max_value=2**48)
+chains = st.sampled_from(["walk", "rehash"])
+
+
+class TestPrimaryPlacementProperties:
+    @given(n=cluster_sizes, oid=oids, chain=chains,
+           r=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=200, deadline=None)
+    def test_one_primary_and_distinct(self, n, oid, chain, r):
+        ring, layout = get_ring(n)
+        if n < r:
+            return
+        res = place_primary(ring, oid, r, layout.is_primary,
+                            lambda s: True, chain=chain)
+        assert len(set(res.servers)) == r
+        assert sum(1 for s in res.servers if layout.is_primary(s)) == 1
+        assert not res.degraded
+
+    @given(n=cluster_sizes, oid=oids, chain=chains,
+           k=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_active_only_under_any_prefix(self, n, oid, chain, k):
+        """Any expansion-chain prefix with >= max(p, r) active servers
+        yields a valid all-active placement."""
+        ring, layout = get_ring(n)
+        active_count = max(layout.p, 2, min(n, layout.p + k))
+        is_active = lambda s: s <= active_count
+        res = place_primary(ring, oid, 2, layout.is_primary, is_active,
+                            chain=chain)
+        assert all(s <= active_count for s in res.servers)
+        assert len(set(res.servers)) == 2
+
+    @given(n=cluster_sizes, oid=oids, chain=chains)
+    @settings(max_examples=100, deadline=None)
+    def test_purity(self, n, oid, chain):
+        ring, layout = get_ring(n)
+        a = place_primary(ring, oid, 2, layout.is_primary,
+                          lambda s: True, chain=chain)
+        b = place_primary(ring, oid, 2, layout.is_primary,
+                          lambda s: True, chain=chain)
+        assert a.servers == b.servers
+
+
+class TestOriginalPlacementProperties:
+    @given(n=cluster_sizes, oid=oids,
+           r=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=150, deadline=None)
+    def test_distinct_servers(self, n, oid, r):
+        ring, _ = get_ring(n)
+        if n < r:
+            return
+        res = place_original(ring, oid, r)
+        assert len(set(res.servers)) == r
+
+    @given(oid=oids)
+    @settings(max_examples=100, deadline=None)
+    def test_monotonicity_on_growth(self, oid):
+        """Ring monotonicity: growing the ring never moves a key
+        between two pre-existing servers (first replica)."""
+        ring = HashRing()
+        for rank in range(1, 8):
+            ring.add_server(rank, weight=64)
+        before = place_original(ring, oid, 1).servers[0]
+        ring.add_server(99, weight=64)
+        try:
+            after = place_original(ring, oid, 1).servers[0]
+            assert after in (before, 99)
+        finally:
+            ring.remove_server(99)
+
+
+class TestVersionedPlacementProperties:
+    @given(oid=oids,
+           resizes=st.lists(st.integers(min_value=2, max_value=10),
+                            min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_historical_placements_stable(self, oid, resizes):
+        """Placement under version v never changes, no matter how many
+        versions follow (the Algorithm 2 prerequisite)."""
+        ech = ElasticConsistentHash(n=10, replicas=2, B=2_000)
+        recorded = {1: ech.locate(oid, 1).servers}
+        for k in resizes:
+            before = ech.current_version
+            ech.set_active(k)
+            if ech.current_version != before:
+                recorded[ech.current_version] = ech.locate(
+                    oid, ech.current_version).servers
+        for version, servers in recorded.items():
+            assert ech.locate(oid, version).servers == servers

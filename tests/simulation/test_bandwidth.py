@@ -1,0 +1,114 @@
+"""Max-min fair allocation with coefficients."""
+
+import math
+
+import pytest
+
+from repro.simulation.bandwidth import FlowSpec, max_min_fair
+
+
+class TestBasicFairness:
+    def test_equal_split(self):
+        rates = max_min_fair([FlowSpec({"d": 1.0}), FlowSpec({"d": 1.0})],
+                             {"d": 100.0})
+        assert rates == [pytest.approx(50.0)] * 2
+
+    def test_capped_flow_releases_capacity(self):
+        rates = max_min_fair(
+            [FlowSpec({"d": 1.0}, demand=20.0), FlowSpec({"d": 1.0})],
+            {"d": 100.0})
+        assert rates == [pytest.approx(20.0), pytest.approx(80.0)]
+
+    def test_three_flows_two_capped(self):
+        rates = max_min_fair(
+            [FlowSpec({"d": 1.0}, demand=10.0),
+             FlowSpec({"d": 1.0}, demand=15.0),
+             FlowSpec({"d": 1.0})],
+            {"d": 100.0})
+        assert rates == [pytest.approx(10.0), pytest.approx(15.0),
+                         pytest.approx(75.0)]
+
+    def test_disjoint_resources_independent(self):
+        rates = max_min_fair(
+            [FlowSpec({"a": 1.0}), FlowSpec({"b": 1.0})],
+            {"a": 30.0, "b": 70.0})
+        assert rates == [pytest.approx(30.0), pytest.approx(70.0)]
+
+    def test_bottleneck_link_shared(self):
+        # Flow 0 uses a+b, flow 1 only b.  b is the bottleneck.
+        rates = max_min_fair(
+            [FlowSpec({"a": 1.0, "b": 1.0}), FlowSpec({"b": 1.0})],
+            {"a": 100.0, "b": 60.0})
+        assert rates == [pytest.approx(30.0), pytest.approx(30.0)]
+
+
+class TestCoefficients:
+    def test_replication_amplification(self):
+        # Coefficient 2 on one disk: a write stream at rate x consumes
+        # 2x of the disk.
+        rates = max_min_fair([FlowSpec({"d": 2.0})], {"d": 100.0})
+        assert rates == [pytest.approx(50.0)]
+
+    def test_mixed_coefficients(self):
+        rates = max_min_fair(
+            [FlowSpec({"d": 2.0}), FlowSpec({"d": 1.0})],
+            {"d": 90.0})
+        # Progressive filling: equal rates until d saturates: 3x = 90.
+        assert rates == [pytest.approx(30.0)] * 2
+
+    def test_zero_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair([FlowSpec({"d": 0.0})], {"d": 10.0})
+
+
+class TestEdgeCases:
+    def test_zero_capacity_freezes_flow(self):
+        rates = max_min_fair([FlowSpec({"d": 1.0})], {"d": 0.0})
+        assert rates == [0.0]
+
+    def test_zero_demand(self):
+        rates = max_min_fair(
+            [FlowSpec({"d": 1.0}, demand=0.0), FlowSpec({"d": 1.0})],
+            {"d": 100.0})
+        assert rates == [0.0, pytest.approx(100.0)]
+
+    def test_unbounded_flow_with_no_resource_raises(self):
+        with pytest.raises(ValueError):
+            max_min_fair([FlowSpec({"ghost": 1.0})], {"d": 10.0})
+
+    def test_bounded_flow_on_unknown_resource_gets_demand(self):
+        rates = max_min_fair([FlowSpec({"ghost": 1.0}, demand=5.0)],
+                             {"d": 10.0})
+        assert rates == [pytest.approx(5.0)]
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair([FlowSpec({"d": 1.0}, demand=-1.0)], {"d": 10.0})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            max_min_fair([FlowSpec({"d": 1.0})], {"d": -10.0})
+
+    def test_no_flows(self):
+        assert max_min_fair([], {"d": 10.0}) == []
+
+
+class TestConservation:
+    def test_no_resource_overcommitted(self):
+        flows = [FlowSpec({"a": 1.0, "b": 2.0}),
+                 FlowSpec({"b": 1.0}, demand=10.0),
+                 FlowSpec({"a": 1.5, "c": 1.0})]
+        caps = {"a": 50.0, "b": 40.0, "c": 30.0}
+        rates = max_min_fair(flows, caps)
+        for res, cap in caps.items():
+            used = sum(f.coefficients.get(res, 0.0) * r
+                       for f, r in zip(flows, rates))
+            assert used <= cap + 1e-6
+
+    def test_work_conserving_on_bottleneck(self):
+        """Some resource must be fully used (or all demands met)."""
+        flows = [FlowSpec({"a": 1.0}), FlowSpec({"a": 1.0, "b": 1.0})]
+        caps = {"a": 100.0, "b": 10.0}
+        rates = max_min_fair(flows, caps)
+        used_a = rates[0] + rates[1]
+        assert used_a == pytest.approx(100.0)

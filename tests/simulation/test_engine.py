@@ -1,0 +1,129 @@
+"""Discrete-event engine: ordering, cancellation, periodic ticks."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, log.append, "late")
+        sim.schedule(1.0, log.append, "early")
+        sim.run()
+        assert log == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "first")
+        sim.schedule(1.0, log.append, "second")
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.0, fired.append, True)
+        sim.run()
+        assert fired and sim.now == 12.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, True)
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        ev.cancel()
+        assert sim.pending == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(5.0, log.append, 5)
+        sim.run_until(3.0)
+        assert log == [1] and sim.now == 3.0
+        sim.run_until(6.0)
+        assert log == [1, 5]
+
+    def test_inclusive_boundary(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, 3)
+        sim.run_until(3.0)
+        assert log == [3]
+
+    def test_backwards_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.run_until(1.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self):
+        sim = Simulator()
+        log = []
+        sim.every(1.0, lambda: log.append(sim.now), until=3.5)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_stop_iteration_halts_chain(self):
+        sim = Simulator()
+        log = []
+
+        def cb():
+            log.append(sim.now)
+            if sim.now >= 2.0:
+                raise StopIteration
+
+        sim.every(1.0, cb)
+        sim.run()
+        assert log == [1.0, 2.0]
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().every(0, lambda: None)

@@ -1,0 +1,59 @@
+"""Additional engine edge cases surfaced while building the drivers."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+
+
+class TestReentrancy:
+    def test_callback_scheduling_at_now(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(0.0, log.append, "second")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == ["first", "second"]
+        assert sim.now == 1.0
+
+    def test_cancel_from_within_callback(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, fired.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_run_until_then_schedule(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        fired = []
+        sim.schedule(1.0, fired.append, True)
+        sim.run()
+        assert fired == [True]
+        assert sim.now == 11.0
+
+
+class TestClockDiscipline:
+    def test_now_is_event_time_inside_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_run_until_sets_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_many_same_time_events_ordered(self):
+        sim = Simulator()
+        log = []
+        for i in range(50):
+            sim.schedule(1.0, log.append, i)
+        sim.run()
+        assert log == list(range(50))

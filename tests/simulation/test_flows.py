@@ -1,0 +1,96 @@
+"""Fluid flows and the flow set."""
+
+import math
+
+import pytest
+
+from repro.simulation.flows import FluidFlow, FlowSet
+
+
+class TestFluidFlow:
+    def test_finite_flow_progress(self):
+        f = FluidFlow("m", {"d": 1.0}, total_bytes=100.0)
+        assert f.remaining == 100.0
+        f.progressed = 30.0
+        assert f.remaining == 70.0
+        assert not f.done
+
+    def test_done(self):
+        f = FluidFlow("m", {"d": 1.0}, total_bytes=100.0)
+        f.progressed = 100.0
+        assert f.done
+
+    def test_stream_never_done(self):
+        f = FluidFlow("c", {"d": 1.0})
+        f.progressed = 1e12
+        assert not f.done
+        assert f.remaining == math.inf
+
+    def test_demand_capped_by_remaining(self):
+        f = FluidFlow("m", {"d": 1.0}, total_bytes=50.0)
+        assert f.demand_for(1.0) == 50.0
+        assert f.demand_for(10.0) == 5.0
+
+    def test_demand_capped_by_rate(self):
+        f = FluidFlow("m", {"d": 1.0}, total_bytes=1e9, rate_cap=25.0)
+        assert f.demand_for(1.0) == 25.0
+
+
+class TestFlowSet:
+    def test_advance_shares_capacity(self):
+        fs = FlowSet()
+        fs.add(FluidFlow("a", {"d": 1.0}))
+        fs.add(FluidFlow("b", {"d": 1.0}))
+        achieved = fs.advance(1.0, {"d": 100.0})
+        assert achieved == {"a": pytest.approx(50.0),
+                            "b": pytest.approx(50.0)}
+
+    def test_same_name_flows_aggregate(self):
+        fs = FlowSet()
+        fs.add(FluidFlow("m", {"d": 1.0}))
+        fs.add(FluidFlow("m", {"d": 1.0}))
+        achieved = fs.advance(1.0, {"d": 100.0})
+        assert achieved == {"m": pytest.approx(100.0)}
+
+    def test_completion_callback_and_retirement(self):
+        fs = FlowSet()
+        done = []
+        fs.add(FluidFlow("m", {"d": 1.0}, total_bytes=80.0,
+                         on_complete=lambda f: done.append(f.name)))
+        fs.advance(1.0, {"d": 100.0})
+        assert done == ["m"]
+        assert len(fs) == 0
+
+    def test_partial_progress_keeps_flow(self):
+        fs = FlowSet()
+        fs.add(FluidFlow("m", {"d": 1.0}, total_bytes=500.0))
+        fs.advance(1.0, {"d": 100.0})
+        assert len(fs) == 1
+
+    def test_freed_capacity_goes_to_streams(self):
+        fs = FlowSet()
+        fs.add(FluidFlow("m", {"d": 1.0}, total_bytes=20.0))
+        fs.add(FluidFlow("c", {"d": 1.0}))
+        achieved = fs.advance(1.0, {"d": 100.0})
+        assert achieved["m"] == pytest.approx(20.0)
+        assert achieved["c"] == pytest.approx(80.0)
+
+    def test_last_rate_recorded(self):
+        fs = FlowSet()
+        f = fs.add(FluidFlow("c", {"d": 1.0}))
+        fs.advance(1.0, {"d": 40.0})
+        assert f.last_rate == pytest.approx(40.0)
+
+    def test_empty_set(self):
+        assert FlowSet().advance(1.0, {"d": 100.0}) == {}
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSet().advance(0.0, {})
+
+    def test_by_name_and_remove(self):
+        fs = FlowSet()
+        f = fs.add(FluidFlow("x", {"d": 1.0}))
+        assert fs.by_name("x") == [f]
+        fs.remove(f)
+        assert len(fs) == 0

@@ -1,0 +1,63 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.n == 10 and args.replicas == 2
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "p=2" in out
+        assert "minimum power : 2/10" in out
+
+    def test_layout(self, capsys):
+        assert main(["layout", "--n", "10", "--objects", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "equal-work layout" in out
+        assert "primary" in out and "secondary" in out
+
+    def test_agility(self, capsys):
+        assert main(["agility", "--objects", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "shrink lag" in out
+
+    def test_three_phase(self, capsys):
+        assert main(["three-phase", "--mode", "selective",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "peak throughput" in out
+        assert "migrated" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--objects-v1", "2000",
+                     "--objects-v2", "2500"]) == 0
+        out = capsys.readouterr().out
+        assert "version1" in out
+        assert "re-integrated" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--which", "CC-a"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II row" in out
+        assert "primary-selective" in out
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["three-phase", "--mode", "bogus"])

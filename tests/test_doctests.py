@@ -1,0 +1,28 @@
+"""Run the doctests embedded in module/class docstrings — the examples
+users copy first must never rot."""
+
+import doctest
+
+import pytest
+
+import repro.cluster.cluster
+import repro.core.elastic
+import repro.hashring.ring
+import repro.kvstore.store
+import repro.simulation.engine
+
+MODULES = [
+    repro.hashring.ring,
+    repro.kvstore.store,
+    repro.simulation.engine,
+    repro.core.elastic,
+    repro.cluster.cluster,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module has no doctests to run"

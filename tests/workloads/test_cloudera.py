@@ -1,0 +1,72 @@
+"""Synthetic Cloudera traces vs Table I envelopes."""
+
+import pytest
+
+from repro.workloads.cloudera import (
+    CC_A,
+    CC_B,
+    TRACE_DT,
+    generate_cc_a,
+    generate_cc_b,
+)
+
+
+class TestTableIEnvelope:
+    """Table I: the published facts the synthetic traces must match."""
+
+    def test_cc_a_spec(self):
+        assert CC_A.machines == 100
+        assert CC_A.length_days == pytest.approx(30.0)
+        assert CC_A.bytes_processed == 69 * 10 ** 12
+
+    def test_cc_b_spec(self):
+        assert CC_B.machines == 300
+        assert CC_B.length_days == pytest.approx(9.0)
+        assert CC_B.bytes_processed == 473 * 10 ** 12
+
+    def test_cc_a_total_bytes_pinned(self):
+        trace = generate_cc_a()
+        assert trace.total_bytes == pytest.approx(CC_A.bytes_processed,
+                                                  rel=1e-6)
+
+    def test_cc_b_total_bytes_pinned(self):
+        trace = generate_cc_b()
+        assert trace.total_bytes == pytest.approx(CC_B.bytes_processed,
+                                                  rel=1e-6)
+
+    def test_durations(self):
+        assert generate_cc_a().duration == pytest.approx(
+            CC_A.length_seconds)
+        assert generate_cc_b().duration == pytest.approx(
+            CC_B.length_seconds)
+
+
+class TestTexture:
+    def test_deterministic_default_seeds(self):
+        import numpy as np
+        assert np.array_equal(generate_cc_a().load, generate_cc_a().load)
+
+    def test_seed_changes_trace(self):
+        import numpy as np
+        assert not np.array_equal(generate_cc_a(seed=1).load,
+                                  generate_cc_a(seed=2).load)
+
+    def test_minute_resolution(self):
+        assert generate_cc_a().dt == TRACE_DT == 60.0
+
+    def test_cc_a_resizes_more_frequently_relative(self):
+        """§V-B: 'CC-a trace has significantly higher resizing
+        frequency' — compared at each trace's own scale."""
+        import numpy as np
+        a, b = generate_cc_a(), generate_cc_b()
+        bw_a = float(np.percentile(a.load, 99)) / 50
+        bw_b = float(np.percentile(b.load, 99)) / 180
+        rel_a = a.resizing_frequency(bw_a) / 50
+        rel_b = b.resizing_frequency(bw_b) / 180
+        assert rel_a > rel_b
+
+    def test_nonnegative_and_bursty(self):
+        for trace in (generate_cc_a(), generate_cc_b()):
+            assert (trace.load >= 0).all()
+            st = trace.stats()
+            assert 2 < st["burstiness"] < 60

@@ -1,0 +1,91 @@
+"""Filebench-style personalities."""
+
+import pytest
+
+from repro.workloads.filebench import (
+    FILESERVER,
+    RATE_LIMITED_MIXED,
+    READ_MOSTLY,
+    SEQ_WRITER,
+    VARMAIL,
+    WEBSERVER,
+    FilebenchPersonality,
+    paper_three_phase,
+)
+from repro.workloads.three_phase import three_phase_workload
+
+MB = 10 ** 6
+
+
+class TestValidation:
+    def test_positive_fields(self):
+        with pytest.raises(ValueError):
+            FilebenchPersonality("x", nfiles=0, filesize=1, iosize=1)
+        with pytest.raises(ValueError):
+            FilebenchPersonality("x", 1, 1, 1, write_ratio=1.5)
+        with pytest.raises(ValueError):
+            FilebenchPersonality("x", 1, 1, 1, rate_ops=0)
+
+
+class TestPaperPhases:
+    def test_matches_three_phase_workload(self):
+        via_personality = paper_three_phase()
+        direct = three_phase_workload()
+        for a, b in zip(via_personality, direct):
+            assert a.name == b.name
+            assert a.total_bytes == pytest.approx(b.total_bytes)
+            assert a.write_ratio == pytest.approx(b.write_ratio)
+            if b.rate_cap is None:
+                assert a.rate_cap is None
+            else:
+                assert a.rate_cap == pytest.approx(b.rate_cap)
+
+    def test_phase2_rate_is_20MBps(self):
+        assert RATE_LIMITED_MIXED.rate_cap_bytes() == pytest.approx(20e6)
+
+    def test_seq_writer_working_set_is_14GB(self):
+        assert SEQ_WRITER.working_set_bytes == 14 * 10 ** 9
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            paper_three_phase(scale=0)
+
+
+class TestEffectiveThroughput:
+    def test_streaming_io_reaches_disk_bw(self):
+        rate = SEQ_WRITER.effective_throughput(streaming_bw=100e6)
+        assert rate == pytest.approx(100e6)
+
+    def test_small_io_is_iops_bound(self):
+        rate = VARMAIL.effective_throughput(streaming_bw=100e6)
+        # 16 threads x 8 KiB / 8 ms = 16.4 MB/s << streaming bw.
+        assert rate == pytest.approx(16 * 8192 / 0.008)
+        assert rate < 100e6
+
+    def test_more_threads_more_throughput(self):
+        few = FilebenchPersonality("a", 1, 1, iosize=8192, nthreads=4)
+        many = FilebenchPersonality("b", 1, 1, iosize=8192, nthreads=64)
+        assert (many.effective_throughput(1e9)
+                > few.effective_throughput(1e9))
+
+    def test_rate_attribute_caps(self):
+        rate = RATE_LIMITED_MIXED.effective_throughput(streaming_bw=1e9)
+        assert rate == pytest.approx(20e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SEQ_WRITER.effective_throughput(0)
+
+
+class TestToPhase:
+    def test_default_total_is_working_set(self):
+        phase = FILESERVER.to_phase()
+        assert phase.total_bytes == FILESERVER.working_set_bytes
+
+    def test_custom_total_and_name(self):
+        phase = WEBSERVER.to_phase(total_bytes=1e9, phase_name="warm")
+        assert phase.total_bytes == 1e9
+        assert phase.name == "warm"
+
+    def test_write_ratio_carried(self):
+        assert READ_MOSTLY.to_phase().write_ratio == pytest.approx(0.2)

@@ -1,0 +1,73 @@
+"""Synthetic load generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import (
+    burst_profile,
+    diurnal_profile,
+    synthesize_load,
+)
+
+
+class TestDiurnal:
+    def test_bounds(self):
+        prof = diurnal_profile(1440, 60.0, trough_ratio=0.3)
+        assert prof.min() >= 0.3 - 1e-9
+        assert prof.max() <= 1.0 + 1e-9
+
+    def test_periodicity(self):
+        prof = diurnal_profile(2880, 60.0)
+        assert np.allclose(prof[:1440], prof[1440:], atol=1e-9)
+
+    def test_bad_trough_rejected(self):
+        with pytest.raises(ValueError):
+            diurnal_profile(10, 1.0, trough_ratio=1.5)
+
+
+class TestBursts:
+    def test_nonnegative(self, rng):
+        prof = burst_profile(1000, 60.0, rng)
+        assert (prof >= 0).all()
+
+    def test_some_bursts_occur(self, rng):
+        prof = burst_profile(2000, 60.0, rng,
+                             mean_interarrival_s=1800.0)
+        assert prof.max() > 0
+
+    def test_interarrival_controls_density(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        dense = burst_profile(2000, 60.0, rng1,
+                              mean_interarrival_s=300.0)
+        sparse = burst_profile(2000, 60.0, rng2,
+                               mean_interarrival_s=10_000.0)
+        assert (dense > 0).sum() > (sparse > 0).sum()
+
+    def test_bad_magnitude_rejected(self, rng):
+        with pytest.raises(ValueError):
+            burst_profile(10, 1.0, rng, magnitude_scale=0)
+
+
+class TestSynthesizeLoad:
+    def test_mean_calibrated_exactly(self):
+        load = synthesize_load(86400.0, 60.0, mean_load=123.0, seed=7)
+        assert load.mean() == pytest.approx(123.0)
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_load(86400.0, 60.0, 100.0, seed=42)
+        b = synthesize_load(86400.0, 60.0, 100.0, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = synthesize_load(86400.0, 60.0, 100.0, seed=1)
+        b = synthesize_load(86400.0, 60.0, 100.0, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_nonnegative(self):
+        load = synthesize_load(86400.0, 60.0, 100.0, seed=3)
+        assert (load >= 0).all()
+
+    def test_reasonable_burstiness(self):
+        load = synthesize_load(7 * 86400.0, 60.0, 100.0, seed=4)
+        assert 1.5 < load.max() / load.mean() < 50
