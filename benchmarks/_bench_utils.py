@@ -6,20 +6,44 @@ measured ones.  Reports land in ``benchmarks/reports/<name>.txt`` (and
 on stdout when pytest runs with ``-s``), so ``pytest benchmarks/
 --benchmark-only`` leaves a reviewable trail regardless of output
 capture.
+
+Benches that pass ``data=`` to :func:`emit_report` additionally write
+``benchmarks/reports/<name>.json`` — the measured series in
+machine-readable form, for plotting or regression diffing.  Running
+with ``--json DIR`` (registered by ``benchmarks/conftest.py``) mirrors
+the JSON documents into *DIR* instead of the default reports tree.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Optional
 
 REPORT_DIR = Path(__file__).parent / "reports"
 
+#: Output directory for the JSON documents; ``benchmarks/conftest.py``
+#: points this at the ``--json DIR`` argument when given.
+JSON_DIR: Optional[Path] = None
 
-def emit_report(name: str, text: str) -> Path:
-    """Write (and print) one bench's report."""
+
+def emit_report(name: str, text: str, data: Optional[dict] = None) -> Path:
+    """Write (and print) one bench's report.
+
+    With *data*, the measured quantities are also dumped as
+    ``<name>.json``: ``{"name", "report", "data"}`` with the ASCII
+    report embedded so the JSON document is self-describing.
+    """
     REPORT_DIR.mkdir(exist_ok=True)
     path = REPORT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    if data is not None or JSON_DIR is not None:
+        json_dir = JSON_DIR if JSON_DIR is not None else REPORT_DIR
+        json_dir.mkdir(parents=True, exist_ok=True)
+        document = {"name": name, "report": text, "data": data}
+        (json_dir / f"{name}.json").write_text(
+            json.dumps(document, indent=2, sort_keys=True, default=repr)
+            + "\n")
     print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
     return path
 

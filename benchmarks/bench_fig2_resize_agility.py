@@ -34,7 +34,15 @@ def bench_fig2_resize_agility(benchmark):
         "re-replication paid per departure (GB): "
         + ", ".join(f"{b / 1e9:.2f}" for b in result.recovery_bytes),
     ]
-    emit_report("fig2_resize_agility", "\n".join(lines))
+    emit_report("fig2_resize_agility", "\n".join(lines), data={
+        "grid_s": grid,
+        "active_servers": series,
+        "shrink_lag_server_seconds": {
+            "original": result.lag_seconds(),
+            "elastic": result.elastic_lag_seconds(),
+        },
+        "recovery_bytes_per_departure": list(result.recovery_bytes),
+    })
 
     assert result.lag_seconds() > 60.0
     assert result.elastic_lag_seconds() == 0.0

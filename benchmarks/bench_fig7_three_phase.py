@@ -54,7 +54,22 @@ def bench_fig7_three_phase(benchmark):
         "",
         render_series(grid, series, time_label="t(s)",
                       title="throughput timeline (MB/s, every 20 s)"),
-    ]))
+    ]), data={
+        "grid_s": grid,
+        "throughput_mb_s": series,
+        "summary_rows": {
+            LABEL[m]: {
+                "peak_mb_s": rows[i][1],
+                "mean_phase3_mb_s": rows[i][2],
+                "recovery_s": rows[i][3],
+                "migrated_gb": rows[i][4],
+                "rereplicated_gb": rows[i][5],
+            } for i, m in enumerate(MODES)
+        },
+        "phase_ends_s": {m: {k: round(v, 1)
+                             for k, v in results[m].phase_ends.items()}
+                         for m in MODES},
+    })
 
     sel, orig = results["selective"], results["original"]
     t_sel = sel.recovery_time_after(sel.phase_ends["phase2"])

@@ -64,7 +64,17 @@ def bench_table2_machine_hours(benchmark):
              "measured savings vs orig"],
             savings_rows,
             title="§V-B machine-hour savings vs original CH"),
-    ]))
+    ]), data={
+        "paper_relative_machine_hours": PAPER,
+        "measured_relative_machine_hours": {
+            w: {k: round(v, 4) for k, v in exp.table2_row().items()}
+            for w, exp in exps.items()},
+        "paper_savings_pct": PAPER_SAVINGS,
+        "measured_savings_pct": {
+            w: {k: round(100 * v, 2)
+                for k, v in exp.analysis.savings_vs_original().items()}
+            for w, exp in exps.items()},
+    })
 
     for which, exp in exps.items():
         rel = exp.table2_row()

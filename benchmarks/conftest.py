@@ -1,0 +1,27 @@
+"""Benchmark-harness options.
+
+``--json DIR`` mirrors every bench's machine-readable JSON document
+(see :func:`_bench_utils.emit_report`) into *DIR* instead of the
+default ``benchmarks/reports/`` tree::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only --json out/
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json", dest="bench_json_dir", default=None, metavar="DIR",
+        help="directory for the benches' machine-readable JSON reports "
+             "(default: benchmarks/reports/, only for benches that "
+             "produce structured data)")
+
+
+def pytest_configure(config):
+    json_dir = config.getoption("bench_json_dir", default=None)
+    if json_dir:
+        import _bench_utils
+        _bench_utils.JSON_DIR = Path(json_dir)

@@ -8,10 +8,26 @@
     python -m repro three-phase --mode selective --scale 0.5
     python -m repro fig5
     python -m repro trace --which CC-a
+    python -m repro stats run.jsonl --kind migration.
 
-Each subcommand prints the same report the corresponding benchmark
+Each subcommand renders the same report the corresponding benchmark
 emits; heavy runs expose their scale/size knobs so a laptop shell can
 finish in seconds.
+
+Every experiment subcommand also takes the observability flags:
+
+``--trace-out PATH``
+    Stream the run's structured trace events (engine ticks, flow
+    start/finish, migrations, power transitions, ...) to *PATH* as
+    JSON Lines.  Inspect afterwards with ``python -m repro stats``.
+
+``--stats``
+    Enable the hot-path ``perf.*`` timers for the run and append the
+    metrics-registry table to the report.
+
+Command functions build and *return* their report text; only
+:func:`main` writes to stdout, so the library layer stays print-free
+and the reports remain embeddable (tests, notebooks, benchmarks).
 """
 
 from __future__ import annotations
@@ -35,8 +51,17 @@ from repro.metrics.report import (
     render_series,
     render_table,
 )
+from repro.obs import JSONLSink, OBS
+from repro.obs.stats import render_trace_stats
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write the run's trace events to PATH as JSONL")
+    p.add_argument("--stats", action="store_true",
+                   help="collect perf timers and append the metrics table")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=10)
     p.add_argument("--replicas", type=int, default=2)
     p.add_argument("--B", type=int, default=10_000)
+    _add_obs_flags(p)
 
     p = sub.add_parser("layout", help="equal-work weights + capacity plan")
     p.add_argument("--n", type=int, default=10)
@@ -58,115 +84,140 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--B", type=int, default=10_000)
     p.add_argument("--objects", type=int, default=20_000,
                    help="objects to place for the measured distribution")
+    _add_obs_flags(p)
 
     p = sub.add_parser("agility", help="Figure 2: resize agility")
     p.add_argument("--objects", type=int, default=2_000)
+    _add_obs_flags(p)
 
     p = sub.add_parser("three-phase",
                        help="Figures 3/7: the 3-phase workload")
     p.add_argument("--mode", default="selective",
                    choices=["none", "original", "full", "selective"])
     p.add_argument("--scale", type=float, default=0.5)
+    _add_obs_flags(p)
 
     p = sub.add_parser("fig5", help="Figure 5: layout across versions")
     p.add_argument("--objects-v1", type=int, default=20_000)
     p.add_argument("--objects-v2", type=int, default=25_000)
+    _add_obs_flags(p)
 
     p = sub.add_parser("trace", help="Figures 8/9 + Table II")
     p.add_argument("--which", default="CC-a", choices=["CC-a", "CC-b"])
     p.add_argument("--seed", type=int, default=None)
+    _add_obs_flags(p)
+
+    p = sub.add_parser("stats",
+                       help="summarise a JSONL trace written by --trace-out")
+    p.add_argument("trace_file", metavar="TRACE.jsonl",
+                   help="trace file produced by --trace-out")
+    p.add_argument("--kind", default=None,
+                   help="only this event kind (trailing '.' = prefix match,"
+                        " e.g. 'migration.')")
 
     return parser
 
 
-def _cmd_info(args) -> int:
+def _cmd_info(args) -> str:
     ech = ElasticConsistentHash(n=args.n, replicas=args.replicas, B=args.B)
-    print(ech.describe())
-    print(f"primary ranks : 1..{ech.p}")
-    print(f"minimum power : {ech.min_active}/{ech.n} servers "
-          f"({100 * ech.min_active / ech.n:.0f}%)")
-    print(f"ring vnodes   : {ech.ring.num_vnodes}")
-    return 0
+    return "\n".join([
+        ech.describe(),
+        f"primary ranks : 1..{ech.p}",
+        f"minimum power : {ech.min_active}/{ech.n} servers "
+        f"({100 * ech.min_active / ech.n:.0f}%)",
+        f"ring vnodes   : {ech.ring.num_vnodes}",
+    ])
 
 
-def _cmd_layout(args) -> int:
+def _cmd_layout(args) -> str:
     layout = EqualWorkLayout.create(args.n, args.replicas, args.B)
     ech = ElasticConsistentHash(n=args.n, replicas=args.replicas, B=args.B)
     counts = ech.blocks_per_rank(range(args.objects))
-    print(render_table(
-        ["rank", "role", "vnodes (weight)", f"blocks of {args.objects}"],
-        [[r, "primary" if layout.is_primary(r) else "secondary",
-          layout.weight_of(r), counts[r]] for r in layout.ranks],
-        title="equal-work layout (§III-C)"))
-    print()
-    print(render_distribution(counts, width=40,
-                              title="measured block distribution"))
     plan = CapacityPlan.for_layout(layout)
-    print()
-    print("capacity tiers (§III-D): "
-          + ", ".join(f"rank {r}: {plan.capacity_of(r) / 1e12:.2f} TB"
-                      for r in layout.ranks))
-    return 0
+    return "\n".join([
+        render_table(
+            ["rank", "role", "vnodes (weight)", f"blocks of {args.objects}"],
+            [[r, "primary" if layout.is_primary(r) else "secondary",
+              layout.weight_of(r), counts[r]] for r in layout.ranks],
+            title="equal-work layout (§III-C)"),
+        "",
+        render_distribution(counts, width=40,
+                            title="measured block distribution"),
+        "",
+        "capacity tiers (§III-D): "
+        + ", ".join(f"rank {r}: {plan.capacity_of(r) / 1e12:.2f} TB"
+                    for r in layout.ranks),
+    ])
 
 
-def _cmd_agility(args) -> int:
+def _cmd_agility(args) -> str:
     result = run_resize_agility(objects=args.objects)
     grid = list(range(0, int(result.duration) + 1, 15))
-    print(render_series(
-        grid,
-        {"ideal": list(result.ideal.sample(grid)),
-         "original CH": list(result.original_ch.sample(grid)),
-         "elastic CH": list(result.elastic.sample(grid))},
-        time_label="t(s)",
-        title="Figure 2 — active servers vs time"))
-    print(f"\nshrink lag: original {result.lag_seconds():.0f} "
-          f"server-s, elastic {result.elastic_lag_seconds():.0f} server-s")
-    return 0
+    return "\n".join([
+        render_series(
+            grid,
+            {"ideal": list(result.ideal.sample(grid)),
+             "original CH": list(result.original_ch.sample(grid)),
+             "elastic CH": list(result.elastic.sample(grid))},
+            time_label="t(s)",
+            title="Figure 2 — active servers vs time"),
+        "",
+        f"shrink lag: original {result.lag_seconds():.0f} "
+        f"server-s, elastic {result.elastic_lag_seconds():.0f} server-s",
+    ])
 
 
-def _cmd_three_phase(args) -> int:
+def _cmd_three_phase(args) -> str:
     r = run_three_phase(args.mode, scale=args.scale)
     p2 = r.phase_ends["phase2"]
-    print(f"mode={args.mode} scale={args.scale}")
-    print(f"phase ends: { {k: round(v) for k, v in r.phase_ends.items()} }")
-    print(f"peak throughput      : {max(r.throughput) / 1e6:.1f} MB/s")
-    print(f"mean phase-3         : "
-          f"{r.mean_throughput(p2, r.phase_ends['phase3']) / 1e6:.1f} MB/s")
-    print(f"recovery after p2    : {r.recovery_time_after(p2):.1f} s")
-    print(f"migrated             : {r.migrated_bytes / 1e9:.2f} GB")
-    print(f"re-replicated        : {r.rereplicated_bytes / 1e9:.2f} GB")
-    return 0
+    return "\n".join([
+        f"mode={args.mode} scale={args.scale}",
+        f"phase ends: { {k: round(v) for k, v in r.phase_ends.items()} }",
+        f"peak throughput      : {max(r.throughput) / 1e6:.1f} MB/s",
+        f"mean phase-3         : "
+        f"{r.mean_throughput(p2, r.phase_ends['phase3']) / 1e6:.1f} MB/s",
+        f"recovery after p2    : {r.recovery_time_after(p2):.1f} s",
+        f"migrated             : {r.migrated_bytes / 1e9:.2f} GB",
+        f"re-replicated        : {r.rereplicated_bytes / 1e9:.2f} GB",
+    ])
 
 
-def _cmd_fig5(args) -> int:
+def _cmd_fig5(args) -> str:
     res = run_layout_versions(objects_v1=args.objects_v1,
                               objects_v2=args.objects_v2)
+    parts: List[str] = []
     for label, dist in res.distributions.items():
-        print(render_distribution(dist, width=40, title=f"-- {label} --"))
-        print()
-    print(f"re-integrated {res.reintegration_objects} objects "
-          f"({res.reintegration_bytes / 1e9:.2f} GB); "
-          f"v1 shape correlation {res.v1_shape_correlation:.4f}")
-    return 0
+        parts.append(render_distribution(dist, width=40,
+                                         title=f"-- {label} --"))
+        parts.append("")
+    parts.append(f"re-integrated {res.reintegration_objects} objects "
+                 f"({res.reintegration_bytes / 1e9:.2f} GB); "
+                 f"v1 shape correlation {res.v1_shape_correlation:.4f}")
+    return "\n".join(parts)
 
 
-def _cmd_trace(args) -> int:
+def _cmd_trace(args) -> str:
     exp = run_trace_analysis(args.which, seed=args.seed)
     series = exp.figure_series()
     minutes = [int(m) for m in exp.window_minutes()]
-    print(render_series(
-        minutes[::10],
-        {k: list(np.asarray(v)[::10]) for k, v in series.items()},
-        time_label="t(min)",
-        title=f"{args.which}: active servers (250-minute window)"))
-    print()
     rows = [["ideal", round(exp.analysis.ideal_machine_hours, 1), 1.0]]
     for name, res in exp.analysis.results.items():
         rows.append([name, round(res.machine_hours, 1),
                      round(res.relative_machine_hours, 3)])
-    print(render_table(["policy", "machine hours", "relative to ideal"],
-                       rows, title="Table II row"))
-    return 0
+    return "\n".join([
+        render_series(
+            minutes[::10],
+            {k: list(np.asarray(v)[::10]) for k, v in series.items()},
+            time_label="t(min)",
+            title=f"{args.which}: active servers (250-minute window)"),
+        "",
+        render_table(["policy", "machine hours", "relative to ideal"],
+                     rows, title="Table II row"),
+    ])
+
+
+def _cmd_stats(args) -> str:
+    return render_trace_stats(args.trace_file, kind=args.kind)
 
 
 _COMMANDS = {
@@ -176,12 +227,43 @@ _COMMANDS = {
     "three-phase": _cmd_three_phase,
     "fig5": _cmd_fig5,
     "trace": _cmd_trace,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    command = _COMMANDS[args.command]
+
+    trace_out = getattr(args, "trace_out", None)
+    stats = getattr(args, "stats", False)
+
+    sink = None
+    if trace_out is not None:
+        try:
+            sink = JSONLSink(trace_out)
+        except OSError as exc:
+            print(f"repro: cannot open trace file: {exc}", file=sys.stderr)
+            return 2
+        OBS.bus.attach(sink)
+    if stats:
+        OBS.hot = True
+    try:
+        report = command(args)
+        if stats:
+            report += "\n\n" + OBS.metrics.render(
+                title=f"metrics — repro {args.command}")
+        print(report)
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if stats:
+            OBS.hot = False
+        if sink is not None:
+            OBS.bus.detach(sink)
+            sink.close()
+    return 0
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.core.reintegration import (
 from repro.cluster.objects import DEFAULT_OBJECT_SIZE, ObjectCatalog
 from repro.cluster.server import StorageServer
 from repro.hashring.ring import HashRing
+from repro.obs.runtime import OBS
 
 __all__ = ["ElasticCluster", "OriginalCHCluster"]
 
@@ -186,14 +187,30 @@ class ElasticCluster(_ClusterBase):
         needs no clean-up work because the primaries always hold a full
         copy, and growing needs no migration before serving."""
         table = self.ech.set_active(k)
+        bus = OBS.bus
+        powered_on: List[int] = []
+        powered_off: List[int] = []
         for rank, srv in self.servers.items():
             if table.is_active(rank):
                 if not srv.is_on:
                     self.unverified_ranks.add(rank)
+                    powered_on.append(rank)
                 srv.power_on()
             else:
+                if srv.is_on:
+                    powered_off.append(rank)
                 srv.power_off()
                 self.unverified_ranks.discard(rank)
+        OBS.metrics.inc("cluster.resizes")
+        OBS.metrics.gauge("cluster.active_servers").set(table.num_active)
+        if bus.active:
+            bus.emit("power.resize", version=table.version,
+                     active=table.num_active, powered_on=powered_on,
+                     powered_off=powered_off)
+            for rank in powered_on:
+                bus.emit("server.state", rank=rank, state="on")
+            for rank in powered_off:
+                bus.emit("server.state", rank=rank, state="off")
 
     # ------------------------------------------------------------------
     # failures
@@ -213,6 +230,11 @@ class ElasticCluster(_ClusterBase):
         """
         srv = self.servers[rank]
         lost = {oid: srv.replica_size(oid) for oid in srv.replicas()}
+        OBS.metrics.inc("cluster.failures")
+        if OBS.bus.active:
+            OBS.bus.emit("server.fail", rank=rank,
+                         lost_objects=len(lost),
+                         lost_bytes=sum(lost.values()))
         # Crash: the replica map is gone.
         for oid in list(lost):
             srv.drop_replica(oid)
@@ -249,6 +271,9 @@ class ElasticCluster(_ClusterBase):
             if obj is not None and not self.ech.is_full_power:
                 obj.dirty = True
                 self.ech.dirty.insert(oid, curr)
+        OBS.metrics.inc("recovery.bytes", moved)
+        if OBS.bus.active:
+            OBS.bus.emit("recovery.rereplicate", rank=rank, nbytes=moved)
         return moved
 
     def repair_server(self, rank: int) -> None:
@@ -278,6 +303,8 @@ class ElasticCluster(_ClusterBase):
                                      dirty)
         self._store(oid, size, placement.servers)
         self._drop_surplus(oid, placement.servers)
+        OBS.metrics.inc("cluster.writes")
+        OBS.metrics.inc("cluster.bytes_written", size)
         return placement
 
     def read(self, oid: int) -> Tuple[Tuple[int, ...], bool]:
@@ -313,6 +340,14 @@ class ElasticCluster(_ClusterBase):
             self.servers[rank].store_replica(task.oid, size)
         for rank in task.dropped_from:
             self.servers[rank].drop_replica(task.oid)
+        OBS.metrics.inc("migration.objects")
+        OBS.metrics.inc("migration.bytes", task.nbytes)
+        if OBS.bus.active:
+            OBS.bus.emit("migration.move", oid=task.oid, nbytes=task.nbytes,
+                         to=list(task.moved_to),
+                         dropped=list(task.dropped_from),
+                         entry_version=task.entry_version,
+                         target_version=task.target_version)
 
     def run_selective_reintegration(
         self, budget_bytes: Optional[int] = None,
@@ -390,6 +425,9 @@ class ElasticCluster(_ClusterBase):
             self.ech.dirty.clear()
         self.unverified_ranks.clear()
         self.migrated_bytes["full"] += moved
+        OBS.metrics.inc("migration.full_bytes", moved)
+        if OBS.bus.active:
+            OBS.bus.emit("migration.full", nbytes=moved, version=curr)
         return moved
 
     def full_reintegration_bytes(self) -> int:
@@ -519,6 +557,11 @@ class OriginalCHCluster(_ClusterBase):
             self.servers[rank].drop_replica(oid)
         self.servers[rank].power_off()
         self.rereplicated_bytes += moved
+        OBS.metrics.inc("recovery.bytes", moved)
+        OBS.metrics.gauge("cluster.active_servers").set(len(self.ring))
+        if OBS.bus.active:
+            OBS.bus.emit("server.state", rank=rank, state="off")
+            OBS.bus.emit("recovery.rereplicate", rank=rank, nbytes=moved)
         return moved
 
     def add_server(self, rank: int) -> int:
@@ -539,6 +582,11 @@ class OriginalCHCluster(_ClusterBase):
                     moved += obj.size
             self._drop_surplus(obj.oid, target)
         self.migrated_bytes += moved
+        OBS.metrics.inc("migration.bytes", moved)
+        OBS.metrics.gauge("cluster.active_servers").set(len(self.ring))
+        if OBS.bus.active:
+            OBS.bus.emit("server.state", rank=rank, state="on")
+            OBS.bus.emit("migration.addition", rank=rank, nbytes=moved)
         return moved
 
     def addition_migration_bytes(self, rank: int) -> int:

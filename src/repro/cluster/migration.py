@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.cluster import ElasticCluster, OriginalCHCluster
+from repro.obs.runtime import OBS
 
 __all__ = ["TokenBucket", "MigrationMove", "MigrationPlan",
            "full_reintegration_plan", "addition_migration_plan"]
@@ -59,6 +60,7 @@ class TokenBucket:
         self._tokens = min(self.burst, self._tokens + self.rate * dt)
         balance = int(self._tokens)
         self._tokens -= balance
+        OBS.metrics.inc("migration.tokens_granted", balance)
         return balance
 
     def refund(self, nbytes: int) -> None:
@@ -117,6 +119,9 @@ def full_reintegration_plan(cluster: ElasticCluster) -> MigrationPlan:
                       if r not in stored or r in cluster.unverified_ranks)
         if dests:
             plan.moves.append(MigrationMove(obj.oid, obj.size, dests))
+    if OBS.bus.active:
+        OBS.bus.emit("migration.plan", planner="full_reintegration",
+                     objects=plan.num_objects, nbytes=plan.total_bytes)
     return plan
 
 
@@ -136,6 +141,9 @@ def addition_migration_plan(cluster: OriginalCHCluster,
             dests = tuple(r for r in target if r not in stored)
             if dests:
                 plan.moves.append(MigrationMove(obj.oid, obj.size, dests))
+        if OBS.bus.active:
+            OBS.bus.emit("migration.plan", planner="addition",
+                         objects=plan.num_objects, nbytes=plan.total_bytes)
         return plan
     finally:
         for rank in ranks:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.runtime import OBS
+
 __all__ = ["MachineHourMeter", "PowerModel", "machine_hours_of_series"]
 
 
@@ -38,6 +40,8 @@ class MachineHourMeter:
         self._last_t = t
         self._last_n = int(active)
         self._samples.append((t, self._last_n))
+        if OBS.bus.active:
+            OBS.bus.emit("power.sample", t=t, active=self._last_n)
 
     def finish(self, t: float) -> float:
         """Close the integral at time *t* and return machine hours."""

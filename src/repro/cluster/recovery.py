@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.cluster.cluster import OriginalCHCluster
+from repro.obs.runtime import OBS
 
 __all__ = ["RecoveryTask", "RecoveryPlan", "plan_departure_recovery"]
 
@@ -111,4 +112,7 @@ def plan_departure_recovery(cluster: OriginalCHCluster,
                 ))
     finally:
         cluster.ring.add_server(rank, weight=cluster.vnodes_per_server)
+    if OBS.bus.active:
+        OBS.bus.emit("recovery.plan", departing=rank,
+                     objects=plan.num_objects, nbytes=plan.total_bytes)
     return plan

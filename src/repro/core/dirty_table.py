@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.kvstore.sharded import ShardedKVStore
+from repro.obs.runtime import OBS
 
 __all__ = ["DirtyEntry", "DirtyTable"]
 
@@ -61,6 +62,8 @@ class DirtyTable:
         self._dedupe = dedupe
         self._index: Set[Tuple[int, int]] = set()
         self._last_version: int = 0
+        # Pre-bound: insert is on the per-write hot path.
+        self._insert_counter = OBS.metrics.counter("dirty.inserts")
 
     # ------------------------------------------------------------------
     def _shard_key(self, oid: int) -> str:
@@ -92,6 +95,9 @@ class DirtyTable:
         self._store_of(oid).rpush(_LIST_KEY, entry)
         self._index.add((version, oid))
         self._last_version = max(self._last_version, version)
+        self._insert_counter.inc()
+        if OBS.bus.active:
+            OBS.bus.emit("dirty.insert", oid=oid, version=version)
         return True
 
     def contains(self, oid: int, version: int) -> bool:
@@ -119,6 +125,8 @@ class DirtyTable:
         for sid in self._kv.shard_ids:
             out.extend(self._kv.shard(sid).lrange(_LIST_KEY, 0, -1))
         out.sort()
+        OBS.metrics.inc("dirty.fetches")
+        OBS.metrics.inc("dirty.fetched_entries", len(out))
         return out
 
     def __iter__(self) -> Iterator[DirtyEntry]:

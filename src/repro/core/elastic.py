@@ -21,6 +21,7 @@ on, where objects belong.  Actual bytes live in
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.dirty_table import DirtyTable
@@ -35,6 +36,7 @@ from repro.core.versioning import MembershipTable, VersionHistory
 from repro.hashring.hashing import HashFunction
 from repro.hashring.ring import HashRing
 from repro.kvstore.sharded import ShardedKVStore
+from repro.obs.runtime import OBS
 
 __all__ = ["ElasticConsistentHash"]
 
@@ -255,6 +257,16 @@ class ElasticConsistentHash:
         """Replica locations of *oid* under *version* (default:
         current).  Pure: repeated calls with the same arguments return
         the same servers — Algorithm 2's ``locate_ser``."""
+        if OBS.hot:   # per-lookup profiling (--stats / perf runs)
+            t0 = perf_counter()
+            result = self._locate(oid, version)
+            OBS.metrics.observe("perf.core.locate", perf_counter() - t0)
+            OBS.metrics.inc("core.locates")
+            return result
+        return self._locate(oid, version)
+
+    def _locate(self, oid: int,
+                version: Optional[int] = None) -> PlacementResult:
         table = (self.history.current if version is None
                  else self.history.get(version))
         if self.placement_mode == "original":
@@ -278,6 +290,8 @@ class ElasticConsistentHash:
         self.location_version[oid] = version
         if not self.is_full_power:
             self.dirty.insert(oid, version)
+            OBS.metrics.inc("core.offloaded_writes")
+        OBS.metrics.inc("core.writes")
         return placement
 
     def locate_current_replicas(self, oid: int) -> PlacementResult:

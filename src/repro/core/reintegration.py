@@ -38,6 +38,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core.dirty_table import DirtyEntry, DirtyTable
 from repro.core.elastic import ElasticConsistentHash
+from repro.obs.runtime import OBS
 
 __all__ = ["MigrationTask", "ReintegrationReport", "ReintegrationEngine"]
 
@@ -198,8 +199,10 @@ class ReintegrationEngine:
 
         while self._cursor < len(self._snapshot):
             if budget_bytes is not None and report.bytes_migrated >= budget_bytes:
+                self._record(report)
                 return report
             if max_entries is not None and report.entries_processed >= max_entries:
+                self._record(report)
                 return report
 
             entry = self._snapshot[self._cursor]
@@ -237,7 +240,25 @@ class ReintegrationEngine:
                     report.entries_removed += 1
 
         report.caught_up = True
+        self._record(report)
         return report
+
+    def _record(self, report: ReintegrationReport) -> None:
+        """Publish one step's outcome to the observability layer."""
+        m = OBS.metrics
+        m.inc("reintegration.entries", report.entries_processed)
+        m.inc("reintegration.migrated", report.entries_migrated)
+        m.inc("reintegration.stale", report.entries_stale)
+        m.inc("reintegration.removed", report.entries_removed)
+        m.inc("reintegration.bytes", report.bytes_migrated)
+        if OBS.bus.active and report.entries_processed:
+            OBS.bus.emit("reintegration.step",
+                         entries=report.entries_processed,
+                         migrated=report.entries_migrated,
+                         stale=report.entries_stale,
+                         removed=report.entries_removed,
+                         nbytes=report.bytes_migrated,
+                         caught_up=report.caught_up)
 
     # ------------------------------------------------------------------
     def drain(self) -> ReintegrationReport:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
 
+from repro.obs.runtime import OBS
+
 __all__ = ["MembershipTable", "VersionHistory"]
 
 
@@ -145,6 +147,11 @@ class VersionHistory:
             raise ValueError("active set unchanged; refusing no-op version")
         table = cur.with_active(new_active, version=cur.version + 1)
         self._tables.append(table)
+        OBS.metrics.inc("versions.created")
+        if OBS.bus.active:
+            OBS.bus.emit("version.advance", version=table.version,
+                         active=table.num_active,
+                         full_power=table.is_full_power)
         return table
 
     def num_active(self, version: int) -> int:

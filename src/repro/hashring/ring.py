@@ -24,11 +24,13 @@ Implementation notes
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.hashring.hashing import HashFunction, hash64, vnode_positions
+from repro.obs.runtime import OBS
 
 __all__ = ["HashRing", "RingView"]
 
@@ -127,6 +129,7 @@ class HashRing:
     def _rebuild_if_dirty(self) -> None:
         if not self._dirty:
             return
+        OBS.metrics.inc("ring.rebuilds")
         self._server_list = list(self._weights)
         chunks_pos = []
         chunks_owner = []
@@ -170,6 +173,13 @@ class HashRing:
         self._rebuild_if_dirty()
         if self._positions.size == 0:
             raise LookupError("ring is empty")
+        if OBS.hot:   # per-lookup profiling (--stats / perf runs)
+            t0 = perf_counter()
+            slot = int(np.searchsorted(self._positions, np.uint64(position),
+                                       side="left"))
+            OBS.metrics.observe("perf.ring.successor", perf_counter() - t0)
+            OBS.metrics.inc("ring.lookups")
+            return slot % self._positions.size
         slot = int(np.searchsorted(self._positions, np.uint64(position),
                                    side="left"))
         return slot % self._positions.size
@@ -256,6 +266,15 @@ class HashRing:
         self._rebuild_if_dirty()
         if self._positions.size == 0:
             raise LookupError("ring is empty")
+        if OBS.hot:
+            t0 = perf_counter()
+            slots = np.searchsorted(self._positions, positions, side="left")
+            slots %= self._positions.size
+            owners = self._owners[slots]
+            OBS.metrics.observe("perf.ring.bulk_successor",
+                                perf_counter() - t0)
+            OBS.metrics.inc("ring.bulk_keys", int(positions.size))
+            return owners
         slots = np.searchsorted(self._positions, positions, side="left")
         slots %= self._positions.size
         return self._owners[slots]

@@ -20,31 +20,51 @@ class StepSeries:
 
     Times must be strictly increasing.  The series is immutable once
     built via :meth:`from_points`; the incremental builder
-    (:meth:`append`) coalesces repeated values.
+    (:meth:`append`) coalesces repeated values by default — but the
+    sample *time* is never lost: :attr:`end_time` always reports the
+    last appended time, even when its value was coalesced into the
+    previous breakpoint.
     """
 
     def __init__(self) -> None:
         self._times: List[float] = []
         self._values: List[float] = []
+        self._end: float = float("-inf")
 
     @classmethod
     def from_points(cls, times: Sequence[float],
-                    values: Sequence[float]) -> "StepSeries":
+                    values: Sequence[float],
+                    coalesce: bool = True) -> "StepSeries":
         if len(times) != len(values):
             raise ValueError("times and values must have equal length")
         s = cls()
         for t, v in zip(times, values):
-            s.append(t, v)
+            s.append(t, v, coalesce=coalesce)
         return s
 
-    def append(self, t: float, value: float) -> None:
+    def append(self, t: float, value: float, coalesce: bool = True) -> None:
+        """Add a sample.  With *coalesce* (default), a value equal to the
+        previous one keeps the existing breakpoint — but *t* still
+        advances :attr:`end_time`, so the known extent of the series is
+        never silently shortened.  Pass ``coalesce=False`` to keep every
+        breakpoint (e.g. raw sample logs)."""
         if self._times and t <= self._times[-1]:
             raise ValueError(
                 f"times must be strictly increasing: {t} <= {self._times[-1]}")
-        if self._values and self._values[-1] == value:
+        self._end = max(self._end, float(t))
+        if coalesce and self._values and self._values[-1] == value:
             return  # coalesce: step functions only change on change
         self._times.append(float(t))
         self._values.append(float(value))
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last appended sample — the series extent, which
+        survives coalescing (a run ending in a long constant stretch
+        still reports when its final sample landed)."""
+        if not self._times:
+            raise ValueError("empty series")
+        return self._end
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

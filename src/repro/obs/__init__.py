@@ -1,0 +1,66 @@
+"""repro.obs — structured tracing, metrics, and profiling hooks.
+
+The observability layer under every experiment and benchmark:
+
+* :class:`~repro.obs.trace.TraceBus` (``OBS.bus``) — structured event
+  stream with pluggable sinks (ring buffer, JSONL file, null);
+* :class:`~repro.obs.metrics.MetricsRegistry` (``OBS.metrics``) —
+  named counters / gauges / fixed-bucket histograms with a
+  deterministic ``snapshot()`` / ``render()`` API;
+* :data:`~repro.obs.runtime.OBS` — the process-wide runtime binding
+  the two, plus the ``hot`` switch for wall-clock ``perf.*`` timers on
+  the hot paths (ring lookup, placement, fair-share solve).
+
+See docs/OBSERVABILITY.md for event kinds, the sink protocol, and
+metric naming conventions.
+
+Examples
+--------
+>>> from repro.obs import OBS
+>>> with OBS.bus.capture() as sink:
+...     OBS.bus.emit("demo.event", t=1.5, answer=42)
+>>> sink.events("demo.event")[0]["answer"]
+42
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import OBS, Runtime, get_runtime
+from repro.obs.trace import (
+    JSONLSink,
+    NullSink,
+    RingBufferSink,
+    Sink,
+    TraceBus,
+    TraceEvent,
+    read_jsonl,
+)
+
+__all__ = [
+    "OBS",
+    "Runtime",
+    "get_runtime",
+    "TraceBus",
+    "TraceEvent",
+    "Sink",
+    "NullSink",
+    "RingBufferSink",
+    "JSONLSink",
+    "read_jsonl",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "summarize_trace",
+    "render_trace_stats",
+]
+
+
+def __getattr__(name: str):
+    # repro.obs.stats pulls in the ASCII renderers of repro.metrics,
+    # which sit above this package in the import graph (instrumented
+    # modules import repro.obs.runtime at import time) — resolve the
+    # stats helpers lazily to keep the layering acyclic.
+    if name in ("summarize_trace", "render_trace_stats"):
+        from repro.obs import stats
+        return getattr(stats, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

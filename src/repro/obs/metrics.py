@@ -1,0 +1,236 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+Instruments are created lazily by name (+ optional labels) and live for
+the process; :meth:`MetricsRegistry.snapshot` returns a plain,
+JSON-able dict in **sorted-name order** — deterministic across runs no
+matter in which order the hot paths touched their instruments — and
+:meth:`MetricsRegistry.render` produces the same ASCII table style the
+benchmark reports use (via :mod:`repro.metrics.report`).
+
+Naming conventions (see docs/OBSERVABILITY.md):
+
+* dotted, subsystem-first: ``engine.events``, ``migration.bytes``;
+* wall-clock timing histograms sit under ``perf.*`` and are recorded
+  only while hot-path profiling is enabled
+  (:attr:`repro.obs.runtime.Runtime.hot`), so the default snapshot
+  stays deterministic — simulation state only, no wall time.
+
+The hot-path helpers :meth:`MetricsRegistry.inc` /
+:meth:`MetricsRegistry.observe` are get-or-create shorthands; prefer
+binding the instrument once (``c = registry.counter("x"); c.inc()``)
+in per-tick loops.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+#: Default histogram buckets for wall-clock seconds (perf timers).
+TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+def _key(name: str, labels: Mapping[str, object]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, v: Number) -> None:
+        self.value = v
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def dec(self, n: Number = 1) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style: ``counts[i]`` counts
+    observations ``<= bounds[i]``; the implicit last bucket is +inf)."""
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "total", "count")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = TIME_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self.counts: List[int] = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, v: Number) -> None:
+        self.total += v
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": {f"le_{b:g}": c
+                        for b, c in zip(self.bounds, self.counts)},
+            "overflow": self.overflow,
+        }
+
+
+class _Timer:
+    """``with registry.timer("perf.x"):`` — observes elapsed seconds."""
+
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist: Histogram) -> None:
+        self._hist = hist
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(time.perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Process-local instrument store.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("cluster.writes").inc()
+    >>> reg.gauge("cluster.active_servers").set(6)
+    >>> snap = reg.snapshot()
+    >>> snap["cluster.active_servers"], snap["cluster.writes"]
+    (6, 1)
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, cls, labels: Mapping[str, object],
+             **kwargs) -> object:
+        key = _key(name, labels)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(key, **kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}")
+        return inst
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(name, Counter, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(name, Gauge, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = TIME_BUCKETS,
+                  **labels: object) -> Histogram:
+        return self._get(name, Histogram, labels,  # type: ignore[return-value]
+                         buckets=buckets)
+
+    def timer(self, name: str, **labels: object) -> _Timer:
+        return _Timer(self.histogram(name, **labels))
+
+    # Hot-path shorthands ----------------------------------------------
+    def inc(self, name: str, n: Number = 1) -> None:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self.counter(name)
+        inst.inc(n)  # type: ignore[union-attr]
+
+    def observe(self, name: str, v: Number) -> None:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self.histogram(name)
+        inst.observe(v)  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._instruments
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry for the next run)."""
+        self._instruments.clear()
+
+    def snapshot(self, include_perf: bool = True) -> Dict[str, object]:
+        """``{metric key: value}`` in sorted-key order.  Counters and
+        gauges map to their value; histograms to a stats dict.  With
+        ``include_perf=False`` the wall-clock ``perf.*`` instruments
+        are omitted — the deterministic, simulation-state-only view."""
+        out: Dict[str, object] = {}
+        for key in sorted(self._instruments):
+            if not include_perf and key.startswith("perf."):
+                continue
+            inst = self._instruments[key]
+            if isinstance(inst, Histogram):
+                out[key] = inst.to_dict()
+            else:
+                out[key] = inst.value  # type: ignore[union-attr]
+        return out
+
+    def render(self, title: Optional[str] = "metrics") -> str:
+        """ASCII table of the snapshot (histograms as count/mean/sum)."""
+        from repro.metrics.report import render_table
+        rows: List[List[object]] = []
+        for key in sorted(self._instruments):
+            inst = self._instruments[key]
+            if isinstance(inst, Histogram):
+                rows.append([key, "histogram",
+                             f"n={inst.count} mean={inst.mean:.3g} "
+                             f"sum={inst.total:.6g}"])
+            elif isinstance(inst, Gauge):
+                rows.append([key, "gauge", inst.value])
+            else:
+                rows.append([key, "counter", inst.value])
+        if not rows:
+            return f"{title}: (no metrics recorded)" if title else \
+                "(no metrics recorded)"
+        return render_table(["metric", "type", "value"], rows, title=title)

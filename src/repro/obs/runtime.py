@@ -1,0 +1,57 @@
+"""The process-wide observability runtime.
+
+Instrumented modules import the :data:`OBS` singleton once and use its
+three members:
+
+* ``OBS.bus`` — the :class:`~repro.obs.trace.TraceBus`.  Emitting with
+  no sink attached is a single branch; call sites that build expensive
+  field dicts guard on ``OBS.bus.active``.
+* ``OBS.metrics`` — the :class:`~repro.obs.metrics.MetricsRegistry` of
+  always-on simulation counters/gauges.
+* ``OBS.hot`` — master switch for *hot-path* profiling (per-lookup
+  counters and wall-clock ``perf.*`` timers on ring lookup, placement,
+  fair-share solve, dirty-table insert).  Off by default so the
+  per-operation cost of instrumentation is one ``if OBS.hot`` check;
+  the CLI's ``--stats`` flag and perf investigations turn it on.
+
+Keeping the runtime global (rather than threading it through every
+constructor) mirrors how logging works: producers are unconditional,
+consumers opt in.  Tests and drivers that need isolation call
+:meth:`Runtime.reset` or swap sinks within a ``bus.capture()`` scope.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceBus
+
+__all__ = ["Runtime", "OBS", "get_runtime"]
+
+
+class Runtime:
+    """Bundle of trace bus + metrics registry + hot-path switch."""
+
+    __slots__ = ("bus", "metrics", "hot")
+
+    def __init__(self) -> None:
+        self.bus = TraceBus()
+        self.metrics = MetricsRegistry()
+        self.hot = False
+
+    def reset(self) -> None:
+        """Return to the pristine state: no sinks, empty registry, hot
+        profiling off, clock at zero."""
+        for sink in list(self.bus.sinks):
+            self.bus.detach(sink)
+            sink.close()
+        self.bus.clock = 0.0
+        self.metrics.reset()
+        self.hot = False
+
+
+#: The singleton every instrumented module binds at import time.
+OBS = Runtime()
+
+
+def get_runtime() -> Runtime:
+    return OBS

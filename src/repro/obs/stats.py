@@ -1,0 +1,96 @@
+"""Trace-file statistics: the renderer behind ``repro stats``.
+
+A JSONL trace is a flat stream of ``{"kind", "t", ...}`` events; this
+module aggregates it into the two tables an engineer reaches for first:
+
+* per-kind counts with time extents (what happened, when);
+* byte totals for the traffic-carrying kinds (how much moved) — the
+  quantities Figures 3/7 and Table II are built from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.report import render_table
+from repro.obs.trace import TraceEvent, read_jsonl
+
+__all__ = ["TraceSummary", "summarize_trace", "render_trace_stats"]
+
+#: Event fields that carry a byte volume, in display priority order.
+_BYTE_FIELDS = ("nbytes", "bytes", "total_bytes", "bytes_migrated")
+
+
+class TraceSummary:
+    """Aggregated view of one trace."""
+
+    def __init__(self) -> None:
+        self.total_events = 0
+        self.t_min: Optional[float] = None
+        self.t_max: Optional[float] = None
+        #: kind -> [count, t_first, t_last, byte_total]
+        self.kinds: Dict[str, List] = {}
+
+    def add(self, event: TraceEvent) -> None:
+        self.total_events += 1
+        kind = str(event.get("kind", "?"))
+        t = event.get("t")
+        row = self.kinds.get(kind)
+        if row is None:
+            row = [0, None, None, 0.0]
+            self.kinds[kind] = row
+        row[0] += 1
+        if isinstance(t, (int, float)):
+            if self.t_min is None or t < self.t_min:
+                self.t_min = float(t)
+            if self.t_max is None or t > self.t_max:
+                self.t_max = float(t)
+            if row[1] is None or t < row[1]:
+                row[1] = float(t)
+            if row[2] is None or t > row[2]:
+                row[2] = float(t)
+        for field in _BYTE_FIELDS:
+            v = event.get(field)
+            if isinstance(v, (int, float)):
+                row[3] += float(v)
+                break
+
+
+def summarize_trace(events: Sequence[TraceEvent]) -> TraceSummary:
+    summary = TraceSummary()
+    for ev in events:
+        summary.add(ev)
+    return summary
+
+
+def render_trace_stats(path: str, kind: Optional[str] = None) -> str:
+    """The ``repro stats`` report for one JSONL trace file.
+
+    *kind* restricts the per-kind table to kinds equal to it or, with a
+    trailing dot, sharing its prefix (``migration.``)."""
+    events = read_jsonl(path)
+    if kind is not None:
+        if kind.endswith("."):
+            events = [e for e in events
+                      if str(e.get("kind", "")).startswith(kind)]
+        else:
+            events = [e for e in events if e.get("kind") == kind]
+    summary = summarize_trace(events)
+    if summary.total_events == 0:
+        return f"{path}: no matching trace events"
+
+    rows = []
+    for k in sorted(summary.kinds):
+        count, t0, t1, nbytes = summary.kinds[k]
+        rows.append([
+            k, count,
+            "-" if t0 is None else round(t0, 3),
+            "-" if t1 is None else round(t1, 3),
+            "-" if nbytes == 0 else f"{nbytes / 1e9:.3f}",
+        ])
+    span = ("" if summary.t_min is None else
+            f", t = [{summary.t_min:g}, {summary.t_max:g}] s")
+    return render_table(
+        ["kind", "events", "first t(s)", "last t(s)", "GB"],
+        rows,
+        title=f"{path}: {summary.total_events} events{span}")

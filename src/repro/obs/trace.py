@@ -1,0 +1,205 @@
+"""The trace bus: structured events with pluggable sinks.
+
+Every interesting state transition in the simulator — an engine tick, a
+flow starting or draining, an object migrating, a server changing power
+state — is a *trace event*: a flat dict with a ``kind`` (dotted,
+namespaced by subsystem), a simulation timestamp ``t``, and arbitrary
+JSON-serialisable fields.  Producers call
+:meth:`TraceBus.emit(kind, t, **fields) <TraceBus.emit>`; consumers
+attach sinks.
+
+Three sinks cover the use cases:
+
+* :class:`RingBufferSink` — bounded in-memory capture (tests, REPL
+  archaeology);
+* :class:`JSONLSink` — one JSON object per line, the ``--trace-out``
+  format that :func:`read_jsonl` parses back field-for-field;
+* :class:`NullSink` — swallows events; attaching it keeps the bus
+  "active" (emit cost is paid) without retaining anything, which is
+  what the overhead guard measures.
+
+With **no** sink attached, :meth:`TraceBus.emit` returns after a single
+truthiness check — the always-on instrumentation in the hot paths costs
+one branch.  Producers that would build expensive field dicts should
+guard on :attr:`TraceBus.active` first.
+
+Timestamps are *simulation* time, never wall-clock, so two identically
+seeded runs emit identical traces.  Drivers that own a clock publish it
+via :attr:`TraceBus.clock`; emitters without their own notion of time
+pass ``t=None`` and inherit the bus clock.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "TraceEvent",
+    "Sink",
+    "NullSink",
+    "RingBufferSink",
+    "JSONLSink",
+    "TraceBus",
+    "read_jsonl",
+]
+
+#: A trace event is a flat dict: ``{"kind": str, "t": float|None, ...}``.
+TraceEvent = Dict[str, object]
+
+
+class Sink:
+    """Sink protocol: anything with ``write(event)`` (and optionally
+    ``close()``) can be attached to a :class:`TraceBus`."""
+
+    def write(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(Sink):
+    """Accepts and discards every event (keeps the bus active)."""
+
+    def write(self, event: TraceEvent) -> None:
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keep the last *capacity* events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._buf: deque = deque(maxlen=capacity)
+
+    def write(self, event: TraceEvent) -> None:
+        self._buf.append(event)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Captured events, oldest first; *kind* filters by exact kind
+        or, with a trailing ``.``, by prefix (``"flow."``)."""
+        evs = list(self._buf)
+        if kind is None:
+            return evs
+        if kind.endswith("."):
+            return [e for e in evs if str(e.get("kind", "")).startswith(kind)]
+        return [e for e in evs if e.get("kind") == kind]
+
+    def clear(self) -> None:
+        self._buf.clear()
+
+
+class JSONLSink(Sink):
+    """Append events to a JSONL file (one compact, key-sorted JSON
+    object per line — byte-identical across identically seeded runs)."""
+
+    def __init__(self, path_or_file: Union[str, "IO[str]"]) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh: IO[str] = path_or_file  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[str] = getattr(path_or_file, "name", None)
+        else:
+            self.path = str(path_or_file)
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._owns = True
+        self.events_written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True, default=repr,
+                                  separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path_or_file: Union[str, "IO[str]"]) -> List[TraceEvent]:
+    """Parse a JSONL trace back into its event dicts (blank lines are
+    skipped) — the inverse of :class:`JSONLSink`."""
+    if hasattr(path_or_file, "read"):
+        lines: Iterable[str] = path_or_file  # type: ignore[assignment]
+        return [json.loads(ln) for ln in lines if ln.strip()]
+    with open(str(path_or_file), encoding="utf-8") as fh:
+        return [json.loads(ln) for ln in fh if ln.strip()]
+
+
+class TraceBus:
+    """Process-local event fan-out.
+
+    Examples
+    --------
+    >>> bus = TraceBus()
+    >>> sink = RingBufferSink()
+    >>> _ = bus.attach(sink)
+    >>> bus.emit("flow.start", t=1.0, name="client")
+    >>> sink.events("flow.start")[0]["name"]
+    'client'
+    """
+
+    __slots__ = ("sinks", "clock")
+
+    def __init__(self) -> None:
+        self.sinks: List[Sink] = []
+        #: Current simulation time, published by whichever driver owns
+        #: the clock; used when emitters pass ``t=None``.
+        self.clock: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is attached.  Producers guard
+        expensive field construction on this."""
+        return bool(self.sinks)
+
+    def attach(self, sink: Sink) -> Sink:
+        self.sinks.append(sink)
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        self.sinks.remove(sink)
+
+    def capture(self, capacity: int = 4096) -> "_Capture":
+        """``with bus.capture() as sink:`` — scoped ring-buffer capture."""
+        return _Capture(self, RingBufferSink(capacity))
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, t: Optional[float] = None,
+             **fields: object) -> None:
+        """Publish one event to every sink (no-op without sinks)."""
+        if not self.sinks:
+            return
+        event: TraceEvent = {"kind": kind,
+                             "t": self.clock if t is None else t}
+        if fields:
+            event.update(fields)
+        for sink in self.sinks:
+            sink.write(event)
+
+
+class _Capture:
+    """Context manager attaching a ring buffer for its scope."""
+
+    def __init__(self, bus: TraceBus, sink: RingBufferSink) -> None:
+        self._bus = bus
+        self.sink = sink
+
+    def __enter__(self) -> RingBufferSink:
+        self._bus.attach(self.sink)
+        return self.sink
+
+    def __exit__(self, *exc) -> None:
+        self._bus.detach(self.sink)

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
+from repro.obs.runtime import OBS
+
 __all__ = ["FlowSpec", "max_min_fair"]
 
 Resource = Hashable
@@ -87,10 +89,12 @@ def max_min_fair(flows: Sequence[FlowSpec],
             if res in remaining and remaining[res] == 0.0:
                 frozen[i] = True
 
+    rounds = 0
     for _round in range(n + len(remaining) + 1):
         live = [i for i in range(n) if not frozen[i]]
         if not live:
             break
+        rounds += 1
 
         # Fastest-saturating resource under equal rate growth.
         step_res: Optional[float] = None
@@ -138,4 +142,6 @@ def max_min_fair(flows: Sequence[FlowSpec],
                 if res in remaining and remaining[res] == 0.0:
                     frozen[i] = True
                     break
+    OBS.metrics.inc("bandwidth.solves")
+    OBS.metrics.inc("bandwidth.filling_rounds", rounds)
     return rates

@@ -14,6 +14,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
+from repro.obs.runtime import OBS
+
 __all__ = ["Event", "Simulator"]
 
 
@@ -60,6 +62,8 @@ class Simulator:
         self.now = float(start_time)
         self._heap: List[Event] = []
         self._seq = itertools.count()
+        self._events_counter = OBS.metrics.counter("engine.events")
+        self._sched_counter = OBS.metrics.counter("engine.scheduled")
 
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any],
@@ -76,6 +80,7 @@ class Simulator:
             raise ValueError(f"cannot schedule at {t} < now={self.now}")
         ev = Event(t, next(self._seq), fn, args)
         heapq.heappush(self._heap, ev)
+        self._sched_counter.inc()
         return ev
 
     def every(self, interval: float, fn: Callable[..., Any],
@@ -117,8 +122,15 @@ class Simulator:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
+                OBS.metrics.inc("engine.cancelled")
                 continue
             self.now = ev.time
+            self._events_counter.inc()
+            bus = OBS.bus
+            if bus.active:
+                bus.clock = ev.time
+                bus.emit("engine.event", t=ev.time, seq=ev.seq,
+                         fn=getattr(ev.fn, "__qualname__", repr(ev.fn)))
             ev.fn(*ev.args)
             return True
         return False
@@ -139,3 +151,7 @@ class Simulator:
                 break
             self.step()
         self.now = t
+        bus = OBS.bus
+        if bus.active:
+            bus.clock = t
+            bus.emit("engine.clock", t=t, pending=self.pending)

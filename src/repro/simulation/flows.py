@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Mapping, Optional
 
+from repro.obs.runtime import OBS
 from repro.simulation.bandwidth import FlowSpec, max_min_fair
 
 __all__ = ["FluidFlow", "FlowSet"]
@@ -78,6 +79,13 @@ class FlowSet:
 
     def add(self, flow: FluidFlow) -> FluidFlow:
         self._flows.append(flow)
+        OBS.metrics.inc("flows.started")
+        bus = OBS.bus
+        if bus.active:
+            bus.emit("flow.start", name=flow.name,
+                     total_bytes=flow.total_bytes,
+                     rate_cap=(None if math.isinf(flow.rate_cap)
+                               else flow.rate_cap))
         return flow
 
     def remove(self, flow: FluidFlow) -> None:
@@ -109,7 +117,15 @@ class FlowSet:
             return {}
         specs = [FlowSpec(coefficients=f.coefficients,
                           demand=f.demand_for(dt)) for f in live]
-        rates = max_min_fair(specs, capacities)
+        if OBS.hot:
+            with OBS.metrics.timer("perf.bandwidth.solve"):
+                rates = max_min_fair(specs, capacities)
+        else:
+            rates = max_min_fair(specs, capacities)
+        bus = OBS.bus
+        if bus.active:
+            bus.emit("bandwidth.solve", flows=len(live),
+                     resources=len(capacities))
 
         achieved: Dict[str, float] = {}
         for f, rate in zip(live, rates):
@@ -119,6 +135,9 @@ class FlowSet:
 
         finished = [f for f in live if f.done]
         for f in finished:
+            OBS.metrics.inc("flows.completed")
+            if bus.active:
+                bus.emit("flow.finish", name=f.name, nbytes=f.progressed)
             if f.on_complete is not None:
                 f.on_complete(f)
         self._flows = [f for f in self._flows if not f.done]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
 
+from repro.obs.runtime import OBS
 from repro.simulation.flows import FlowSet
 
 __all__ = ["IOModel", "replica_load_fractions", "client_coefficients"]
@@ -87,8 +88,16 @@ class IOModel:
     # ------------------------------------------------------------------
     def step(self, now: float) -> Dict[str, float]:
         """Advance one tick ending at *now* and record the sample."""
-        achieved = self.flows.advance(self.dt, dict(self.capacity_fn()))
+        bus = OBS.bus
+        bus.clock = now
+        capacities = dict(self.capacity_fn())
+        achieved = self.flows.advance(self.dt, capacities)
         self.samples.append((now, achieved))
+        OBS.metrics.inc("engine.ticks")
+        OBS.metrics.gauge("io.live_flows").set(len(self.flows))
+        if bus.active:
+            bus.emit("engine.tick", t=now, dt=self.dt,
+                     flows=len(self.flows), servers=len(capacities))
         return achieved
 
     def run(self, duration: float, start: float = 0.0,

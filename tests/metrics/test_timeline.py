@@ -37,6 +37,42 @@ class TestBuild:
         s.append(2.0, 6.0)
         assert len(s) == 2
 
+    def test_final_repeated_sample_time_not_lost(self):
+        # Regression: a series ending in a repeated value used to
+        # forget its final sample time entirely — the extent of the
+        # run was silently shortened to the last value *change*.
+        s = StepSeries()
+        s.append(0.0, 5.0)
+        s.append(10.0, 3.0)
+        s.append(20.0, 3.0)   # coalesced, but the time must survive
+        assert len(s) == 2
+        assert s.end_time == 20.0
+
+    def test_end_time_tracks_last_breakpoint_too(self):
+        s = StepSeries()
+        s.append(0.0, 1.0)
+        s.append(4.0, 2.0)
+        assert s.end_time == 4.0
+
+    def test_end_time_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StepSeries().end_time
+
+    def test_coalesce_false_keeps_every_breakpoint(self):
+        s = StepSeries()
+        s.append(0.0, 5.0, coalesce=False)
+        s.append(1.0, 5.0, coalesce=False)
+        s.append(2.0, 5.0, coalesce=False)
+        assert len(s) == 3
+        assert s.end_time == 2.0
+
+    def test_from_points_coalesce_flag(self):
+        times, values = [0.0, 1.0, 2.0], [7.0, 7.0, 7.0]
+        assert len(StepSeries.from_points(times, values)) == 1
+        s = StepSeries.from_points(times, values, coalesce=False)
+        assert len(s) == 3
+        assert StepSeries.from_points(times, values).end_time == 2.0
+
 
 class TestValueAt:
     def test_steps_hold_value(self, series):

@@ -1,0 +1,128 @@
+"""Metrics registry: instruments, labels, snapshot determinism."""
+
+import pytest
+
+from repro.obs import OBS
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter(self, reg):
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert reg.snapshot()["x"] == 5
+
+    def test_gauge(self, reg):
+        g = reg.gauge("g")
+        g.set(7)
+        g.inc(2)
+        g.dec()
+        assert reg.snapshot()["g"] == 8
+
+    def test_histogram_buckets_and_overflow(self, reg):
+        h = reg.histogram("h", buckets=[1.0, 10.0])
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        d = reg.snapshot()["h"]
+        assert d["count"] == 3
+        assert d["sum"] == pytest.approx(105.5)
+        assert d["buckets"] == {"le_1": 1, "le_10": 1}
+        assert d["overflow"] == 1
+        assert h.mean == pytest.approx(105.5 / 3)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=[2.0, 1.0])
+
+    def test_get_or_create_returns_same_instrument(self, reg):
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_clash_rejected(self, reg):
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_timer_observes_elapsed(self, reg):
+        with reg.timer("perf.op"):
+            pass
+        d = reg.snapshot()["perf.op"]
+        assert d["count"] == 1
+        assert d["sum"] >= 0.0
+
+
+class TestLabels:
+    def test_labelled_instruments_are_distinct(self, reg):
+        reg.counter("moves", rank=1).inc()
+        reg.counter("moves", rank=2).inc(3)
+        snap = reg.snapshot()
+        assert snap["moves{rank=1}"] == 1
+        assert snap["moves{rank=2}"] == 3
+
+    def test_label_order_is_canonical(self, reg):
+        a = reg.counter("m", b=2, a=1)
+        b = reg.counter("m", a=1, b=2)
+        assert a is b
+        assert a.name == "m{a=1,b=2}"
+
+
+class TestSnapshot:
+    def test_sorted_key_order(self, reg):
+        reg.counter("z.last").inc()
+        reg.counter("a.first").inc()
+        reg.gauge("m.middle").set(1)
+        assert list(reg.snapshot()) == ["a.first", "m.middle", "z.last"]
+
+    def test_include_perf_false_hides_wall_clock(self, reg):
+        reg.counter("sim.state").inc()
+        reg.observe("perf.ring.successor", 1e-6)
+        assert "perf.ring.successor" in reg.snapshot()
+        assert list(reg.snapshot(include_perf=False)) == ["sim.state"]
+
+    def test_render_lists_every_instrument(self, reg):
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(0.5)
+        text = reg.render(title="t")
+        for fragment in ("c", "counter", "g", "gauge", "h", "histogram"):
+            assert fragment in text
+
+    def test_render_empty(self, reg):
+        assert "no metrics" in reg.render()
+
+    def test_reset(self, reg):
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestRunDeterminism:
+    """Two identically-seeded experiment runs must leave identical
+    simulation-state metrics and identical traces."""
+
+    @staticmethod
+    def _run():
+        from repro.experiments import run_three_phase
+        OBS.reset()
+        with OBS.bus.capture(capacity=200_000) as sink:
+            run_three_phase("selective", scale=0.02)
+            events = sink.events()
+        snap = OBS.metrics.snapshot(include_perf=False)
+        OBS.reset()
+        return snap, events
+
+    def test_same_seed_same_metrics_and_trace(self):
+        snap1, events1 = self._run()
+        snap2, events2 = self._run()
+        assert snap1 == snap2
+        assert events1 == events2
+        # The trace actually covers the instrumented subsystems.
+        kinds = {str(e["kind"]) for e in events1}
+        assert "engine.tick" in kinds
+        assert "flow.start" in kinds
+        assert "migration.move" in kinds

@@ -1,0 +1,129 @@
+"""Trace bus: sinks, capture scoping, and the JSONL round trip."""
+
+import io
+
+import pytest
+
+from repro.obs import OBS
+from repro.obs.trace import (
+    JSONLSink,
+    NullSink,
+    RingBufferSink,
+    TraceBus,
+    read_jsonl,
+)
+
+
+class TestBus:
+    def test_inactive_without_sinks(self):
+        bus = TraceBus()
+        assert not bus.active
+        bus.emit("x", t=0.0)  # no-op, must not raise
+
+    def test_fan_out_to_all_sinks(self):
+        bus = TraceBus()
+        a, b = RingBufferSink(), RingBufferSink()
+        bus.attach(a)
+        bus.attach(b)
+        bus.emit("k", t=1.0)
+        assert len(a) == len(b) == 1
+
+    def test_default_timestamp_is_bus_clock(self):
+        bus = TraceBus()
+        sink = bus.attach(RingBufferSink())
+        bus.clock = 42.5
+        bus.emit("tick")
+        assert sink.events()[0]["t"] == 42.5
+
+    def test_explicit_timestamp_wins(self):
+        bus = TraceBus()
+        sink = bus.attach(RingBufferSink())
+        bus.clock = 42.5
+        bus.emit("tick", t=7.0)
+        assert sink.events()[0]["t"] == 7.0
+
+    def test_capture_is_scoped(self):
+        bus = TraceBus()
+        with bus.capture() as sink:
+            bus.emit("inside", t=0.0)
+        bus.emit("outside", t=1.0)
+        assert [e["kind"] for e in sink.events()] == ["inside"]
+        assert not bus.active
+
+    def test_global_bus_capture(self):
+        with OBS.bus.capture() as sink:
+            OBS.bus.emit("demo", t=0.5, x=1)
+        assert sink.events("demo")[0]["x"] == 1
+        assert not OBS.bus.active
+
+
+class TestRingBufferSink:
+    def test_bounded(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.write({"kind": "k", "t": float(i)})
+        assert [e["t"] for e in sink.events()] == [7.0, 8.0, 9.0]
+
+    def test_kind_filters(self):
+        sink = RingBufferSink()
+        for kind in ("flow.start", "flow.finish", "engine.tick"):
+            sink.write({"kind": kind, "t": 0.0})
+        assert len(sink.events("flow.start")) == 1
+        assert len(sink.events("flow.")) == 2    # prefix match
+        assert len(sink.events()) == 3
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJSONLRoundTrip:
+    EVENTS = [
+        {"kind": "engine.tick", "t": 1.0, "dt": 1.0, "flows": 3},
+        {"kind": "flow.start", "t": 1.5, "name": "client-0",
+         "total_bytes": 4194304, "rate_cap": None},
+        {"kind": "migration.move", "t": 2.0, "oid": 17,
+         "nbytes": 4194304, "to": [1, 2], "dropped": [9]},
+    ]
+
+    def test_round_trip_field_for_field(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JSONLSink(str(path)) as sink:
+            for ev in self.EVENTS:
+                sink.write(ev)
+        assert sink.events_written == len(self.EVENTS)
+        assert read_jsonl(str(path)) == self.EVENTS
+
+    def test_round_trip_through_file_object(self):
+        buf = io.StringIO()
+        sink = JSONLSink(buf)
+        for ev in self.EVENTS:
+            sink.write(ev)
+        sink.close()   # flushes, does not close a borrowed handle
+        buf.seek(0)
+        assert read_jsonl(buf) == self.EVENTS
+
+    def test_lines_are_key_sorted_and_compact(self):
+        buf = io.StringIO()
+        JSONLSink(buf).write({"kind": "z", "t": 0.0, "b": 1, "a": 2})
+        assert buf.getvalue() == '{"a":2,"b":1,"kind":"z","t":0.0}\n'
+
+    def test_bus_to_jsonl_end_to_end(self, tmp_path):
+        path = tmp_path / "bus.jsonl"
+        bus = TraceBus()
+        sink = bus.attach(JSONLSink(str(path)))
+        bus.clock = 3.0
+        bus.emit("server.state", rank=7, state="off")
+        bus.detach(sink)
+        sink.close()
+        (event,) = read_jsonl(str(path))
+        assert event == {"kind": "server.state", "t": 3.0,
+                         "rank": 7, "state": "off"}
+
+
+class TestNullSink:
+    def test_keeps_bus_active_but_retains_nothing(self):
+        bus = TraceBus()
+        bus.attach(NullSink())
+        assert bus.active
+        bus.emit("k", t=0.0)   # swallowed

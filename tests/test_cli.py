@@ -61,3 +61,59 @@ class TestCommands:
     def test_bad_mode_rejected(self):
         with pytest.raises(SystemExit):
             main(["three-phase", "--mode", "bogus"])
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_parseable_jsonl(self, tmp_path, capsys):
+        from repro.obs import OBS
+        from repro.obs.trace import read_jsonl
+
+        path = tmp_path / "run.jsonl"
+        assert main(["three-phase", "--scale", "0.05",
+                     "--trace-out", str(path), "--stats"]) == 0
+        assert not OBS.bus.active     # sink detached on the way out
+        assert not OBS.hot
+
+        events = read_jsonl(str(path))
+        assert events, "trace must not be empty"
+        kinds = {str(e["kind"]) for e in events}
+        assert "engine.tick" in kinds
+        assert "bandwidth.solve" in kinds
+        assert "migration.move" in kinds
+        for e in events:
+            assert "kind" in e and "t" in e
+
+        out = capsys.readouterr().out
+        assert "metrics — repro three-phase" in out
+        assert "migration.bytes" in out
+
+    def test_stats_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["three-phase", "--scale", "0.05",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.tick" in out
+        assert "migration.move" in out
+
+        assert main(["stats", str(path), "--kind", "migration."]) == 0
+        out = capsys.readouterr().out
+        assert "migration.move" in out
+        assert "engine.tick" not in out
+
+    def test_stats_on_empty_match(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["stats", str(path)]) == 0
+        assert "no matching trace events" in capsys.readouterr().out
+
+    def test_stats_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_trace_out_bad_path_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "no_such_dir" / "t.jsonl"
+        assert main(["info", "--trace-out", str(bad)]) == 2
+        assert "cannot open trace file" in capsys.readouterr().err

@@ -9,6 +9,9 @@ import repro.cluster.cluster
 import repro.core.elastic
 import repro.hashring.ring
 import repro.kvstore.store
+import repro.obs
+import repro.obs.metrics
+import repro.obs.trace
 import repro.simulation.engine
 
 MODULES = [
@@ -17,6 +20,9 @@ MODULES = [
     repro.simulation.engine,
     repro.core.elastic,
     repro.cluster.cluster,
+    repro.obs,
+    repro.obs.trace,
+    repro.obs.metrics,
 ]
 
 
