@@ -25,3 +25,43 @@ def pytest_configure(config):
     if json_dir:
         import _bench_utils
         _bench_utils.JSON_DIR = Path(json_dir)
+
+
+def pytest_sessionfinish(session):
+    """With ``--json DIR``, dump the pytest-benchmark timings as
+    ``perf_core_timings.json`` — the micro-benches (bench_perf_core)
+    have no ``emit_report`` document of their own, and CI uploads this
+    file as the perf-smoke artifact.  Wall-clock numbers never land in
+    the checked-in ``benchmarks/reports/`` tree (they would drift on
+    every run), so this writes only under the explicit ``--json``
+    directory."""
+    import _bench_utils
+    if _bench_utils.JSON_DIR is None:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    timings = {}
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        # pytest-benchmark nests the numbers one level down on newer
+        # versions (Metadata.stats.stats); tolerate both shapes.
+        inner = getattr(stats, "stats", stats)
+        median = getattr(inner, "median", None)
+        if median is None:
+            continue
+        timings[bench.fullname] = {
+            "median_s": median,
+            "mean_s": getattr(inner, "mean", None),
+            "rounds": getattr(inner, "rounds", None),
+        }
+    if not timings:
+        return
+    import json
+    _bench_utils.JSON_DIR.mkdir(parents=True, exist_ok=True)
+    document = {"name": "perf_core_timings", "data": timings}
+    (_bench_utils.JSON_DIR / "perf_core_timings.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True, default=repr)
+        + "\n")

@@ -8,7 +8,9 @@
     python -m repro three-phase --mode selective --scale 0.5
     python -m repro fig5
     python -m repro trace --which CC-a
-    python -m repro stats run.jsonl --kind migration.
+    python -m repro stats run.jsonl --kind migration. --top 5
+    python -m repro check run.jsonl
+    python -m repro report run.jsonl
 
 Each subcommand renders the same report the corresponding benchmark
 emits; heavy runs expose their scale/size knobs so a laptop shell can
@@ -24,6 +26,11 @@ Every experiment subcommand also takes the observability flags:
 ``--stats``
     Enable the hot-path ``perf.*`` timers for the run and append the
     metrics-registry table to the report.
+
+``--check``
+    Attach the online invariant checkers
+    (:mod:`repro.obs.invariants`) to the run's live event stream and
+    exit 1 if any invariant is violated — CI's regression tripwire.
 
 Command functions build and *return* their report text; only
 :func:`main` writes to stdout, so the library layer stays print-free
@@ -52,7 +59,10 @@ from repro.metrics.report import (
     render_table,
 )
 from repro.obs import JSONLSink, OBS
+from repro.obs.invariants import CheckerSink
+from repro.obs.report import render_check, render_run_report
 from repro.obs.stats import render_trace_stats
+from repro.obs.trace import TraceParseError
 
 __all__ = ["main", "build_parser"]
 
@@ -62,6 +72,9 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                    help="write the run's trace events to PATH as JSONL")
     p.add_argument("--stats", action="store_true",
                    help="collect perf timers and append the metrics table")
+    p.add_argument("--check", action="store_true",
+                   help="run the invariant checkers live against this "
+                        "run's events; exit 1 on any violation")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,6 +127,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kind", default=None,
                    help="only this event kind (trailing '.' = prefix match,"
                         " e.g. 'migration.')")
+    p.add_argument("--since", type=float, default=None, metavar="T",
+                   help="only events at simulation time >= T seconds")
+    p.add_argument("--until", type=float, default=None, metavar="T",
+                   help="only events at simulation time <= T seconds")
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="keep only the N kinds with the largest byte "
+                        "totals, sorted by bytes descending")
+
+    p = sub.add_parser("check",
+                       help="run the invariant checkers over a JSONL "
+                            "trace; exit 1 on any violation")
+    p.add_argument("trace_file", metavar="TRACE.jsonl",
+                   help="trace file produced by --trace-out")
+
+    p = sub.add_parser("report",
+                       help="render a markdown run report (timeline, "
+                            "span durations, byte breakdown, invariants) "
+                            "from a JSONL trace")
+    p.add_argument("trace_file", metavar="TRACE.jsonl",
+                   help="trace file produced by --trace-out")
 
     return parser
 
@@ -217,7 +250,18 @@ def _cmd_trace(args) -> str:
 
 
 def _cmd_stats(args) -> str:
-    return render_trace_stats(args.trace_file, kind=args.kind)
+    return render_trace_stats(args.trace_file, kind=args.kind,
+                              since=args.since, until=args.until,
+                              top=args.top)
+
+
+def _cmd_check(args):
+    # Returns (text, exit_code): 0 clean, 1 on violations.
+    return render_check(args.trace_file)
+
+
+def _cmd_report(args) -> str:
+    return render_run_report(args.trace_file)
 
 
 _COMMANDS = {
@@ -228,6 +272,8 @@ _COMMANDS = {
     "fig5": _cmd_fig5,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "check": _cmd_check,
+    "report": _cmd_report,
 }
 
 
@@ -237,6 +283,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     trace_out = getattr(args, "trace_out", None)
     stats = getattr(args, "stats", False)
+    check = getattr(args, "check", False)
 
     sink = None
     if trace_out is not None:
@@ -246,24 +293,50 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro: cannot open trace file: {exc}", file=sys.stderr)
             return 2
         OBS.bus.attach(sink)
+    checker_sink = None
+    if check:
+        checker_sink = CheckerSink()
+        OBS.bus.attach(checker_sink)
     if stats:
         OBS.hot = True
+    code = 0
     try:
-        report = command(args)
+        result = command(args)
+        if isinstance(result, tuple):
+            report, code = result
+        else:
+            report = result
         if stats:
             report += "\n\n" + OBS.metrics.render(
                 title=f"metrics — repro {args.command}")
         print(report)
+        if checker_sink is not None:
+            violations = checker_sink.finish()
+            if violations:
+                print(f"repro --check: {len(violations)} invariant "
+                      f"violation(s):", file=sys.stderr)
+                for v in violations[:50]:
+                    print(v.describe(), file=sys.stderr)
+                code = max(code, 1)
+            else:
+                print(f"repro --check: all invariants hold "
+                      f"({checker_sink.suite.events_seen} events)",
+                      file=sys.stderr)
+    except TraceParseError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     finally:
         if stats:
             OBS.hot = False
+        if checker_sink is not None:
+            OBS.bus.detach(checker_sink)
         if sink is not None:
             OBS.bus.detach(sink)
             sink.close()
-    return 0
+    return code
 
 
 if __name__ == "__main__":

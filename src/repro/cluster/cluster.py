@@ -161,6 +161,10 @@ class ElasticCluster(_ClusterBase):
         #: selective path verifies via the dirty table instead and
         #: clears this set for free.
         self.unverified_ranks: set = set()
+        #: Open ``resize.cycle`` span: covers a size-up version advance
+        #: until the re-integration debt it exposed is fully drained.
+        #: None while no cycle is in flight.
+        self.reintegration_cycle = None
 
     def _object_size(self, oid: int) -> int:
         obj = self.catalog.get(oid)
@@ -203,6 +207,8 @@ class ElasticCluster(_ClusterBase):
                 self.unverified_ranks.discard(rank)
         OBS.metrics.inc("cluster.resizes")
         OBS.metrics.gauge("cluster.active_servers").set(table.num_active)
+        resize_span = OBS.spans.begin("resize", version=table.version,
+                                      active=table.num_active)
         if bus.active:
             bus.emit("power.resize", version=table.version,
                      active=table.num_active, powered_on=powered_on,
@@ -211,6 +217,18 @@ class ElasticCluster(_ClusterBase):
                 bus.emit("server.state", rank=rank, state="on")
             for rank in powered_off:
                 bus.emit("server.state", rank=rank, state="off")
+        # The resize itself is instant — that is the paper's headline
+        # agility claim — so its span closes immediately; the *debt* it
+        # exposes (dirty entries / unverified ranks awaiting
+        # re-integration) lives in the long resize.cycle span.
+        resize_span.end()
+        if (powered_on and self.reintegration_cycle is None
+                and (not self.ech.dirty.is_empty()
+                     or self.unverified_ranks)):
+            self.reintegration_cycle = OBS.spans.begin(
+                "resize.cycle", version=table.version,
+                active=table.num_active)
+        self._engine.span_parent = self.reintegration_cycle
 
     # ------------------------------------------------------------------
     # failures
@@ -231,6 +249,7 @@ class ElasticCluster(_ClusterBase):
         srv = self.servers[rank]
         lost = {oid: srv.replica_size(oid) for oid in srv.replicas()}
         OBS.metrics.inc("cluster.failures")
+        recovery_span = OBS.spans.begin("recovery.fail", rank=rank)
         if OBS.bus.active:
             OBS.bus.emit("server.fail", rank=rank,
                          lost_objects=len(lost),
@@ -274,6 +293,7 @@ class ElasticCluster(_ClusterBase):
         OBS.metrics.inc("recovery.bytes", moved)
         if OBS.bus.active:
             OBS.bus.emit("recovery.rereplicate", rank=rank, nbytes=moved)
+        recovery_span.end(nbytes=moved)
         return moved
 
     def repair_server(self, rank: int) -> None:
@@ -367,6 +387,12 @@ class ElasticCluster(_ClusterBase):
             # version: re-powered servers hold exactly what the layout
             # expects of them, no blanket re-copy needed.
             self.unverified_ranks.clear()
+            if (self.reintegration_cycle is not None
+                    and self.ech.is_full_power
+                    and self.ech.dirty.is_empty()):
+                self.reintegration_cycle.end(status="drained")
+                self.reintegration_cycle = None
+                self._engine.span_parent = None
         return report
 
     def selective_backlog_bytes(self) -> int:
@@ -396,6 +422,9 @@ class ElasticCluster(_ClusterBase):
         moved = 0
         curr = self.ech.current_version
         full_power = self.ech.is_full_power
+        full_span = OBS.spans.begin("reintegration.full",
+                                    parent=self.reintegration_cycle,
+                                    version=curr)
         for obj in self.catalog:
             target = self.ech.locate(obj.oid, curr).servers
             if not any(r in self.unverified_ranks for r in target):
@@ -428,6 +457,11 @@ class ElasticCluster(_ClusterBase):
         OBS.metrics.inc("migration.full_bytes", moved)
         if OBS.bus.active:
             OBS.bus.emit("migration.full", nbytes=moved, version=curr)
+        full_span.end(nbytes=moved)
+        if self.reintegration_cycle is not None and self.ech.is_full_power:
+            self.reintegration_cycle.end(status="drained")
+            self.reintegration_cycle = None
+            self._engine.span_parent = None
         return moved
 
     def full_reintegration_bytes(self) -> int:
@@ -544,6 +578,7 @@ class OriginalCHCluster(_ClusterBase):
             raise KeyError(f"server {rank} not a member")
         if len(self.ring) - 1 < self.replicas:
             raise RuntimeError("removal would break replication level")
+        departure_span = OBS.spans.begin("recovery.departure", rank=rank)
         victims = list(self.servers[rank].replicas())
         self.ring.remove_server(rank)
         moved = 0
@@ -562,6 +597,7 @@ class OriginalCHCluster(_ClusterBase):
         if OBS.bus.active:
             OBS.bus.emit("server.state", rank=rank, state="off")
             OBS.bus.emit("recovery.rereplicate", rank=rank, nbytes=moved)
+        departure_span.end(nbytes=moved)
         return moved
 
     def add_server(self, rank: int) -> int:
@@ -570,6 +606,7 @@ class OriginalCHCluster(_ClusterBase):
         Returns the bytes migrated."""
         if rank in self.ring:
             raise KeyError(f"server {rank} already a member")
+        addition_span = OBS.spans.begin("migration.addition", rank=rank)
         self.servers[rank].power_on()
         self.ring.add_server(rank, weight=self.vnodes_per_server)
         moved = 0
@@ -587,6 +624,7 @@ class OriginalCHCluster(_ClusterBase):
         if OBS.bus.active:
             OBS.bus.emit("server.state", rank=rank, state="on")
             OBS.bus.emit("migration.addition", rank=rank, nbytes=moved)
+        addition_span.end(nbytes=moved)
         return moved
 
     def addition_migration_bytes(self, rank: int) -> int:

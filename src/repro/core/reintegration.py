@@ -121,6 +121,10 @@ class ReintegrationEngine:
             else (lambda _oid: DEFAULT_OBJECT_SIZE))
         self.on_migrate = on_migrate
         self.state = self.RUNNING
+        #: Parent span for ``reintegration.pass`` spans — the cluster
+        #: layer points this at the open ``resize.cycle`` span so a
+        #: trace reader can attribute each pass to its resize.
+        self.span_parent = None
 
         self._last_version = 0          # Algorithm 2's Last_Ver
         self._snapshot: List[DirtyEntry] = []
@@ -197,13 +201,17 @@ class ReintegrationEngine:
         full_power = self.ech.is_full_power
         curr_active = self.ech.history.num_active(curr_ver)
 
+        pass_span = None
+        if self._cursor < len(self._snapshot):
+            pass_span = OBS.spans.begin("reintegration.pass",
+                                        parent=self.span_parent,
+                                        version=curr_ver)
+
         while self._cursor < len(self._snapshot):
             if budget_bytes is not None and report.bytes_migrated >= budget_bytes:
-                self._record(report)
-                return report
+                break
             if max_entries is not None and report.entries_processed >= max_entries:
-                self._record(report)
-                return report
+                break
 
             entry = self._snapshot[self._cursor]
             self._cursor += 1
@@ -238,9 +246,16 @@ class ReintegrationEngine:
                     self.ech.dirty.remove(entry)
                     report.removed.append(entry)
                     report.entries_removed += 1
+        else:
+            # Scanned every entry without exhausting a budget.
+            report.caught_up = True
 
-        report.caught_up = True
         self._record(report)
+        if pass_span is not None:
+            pass_span.end(entries=report.entries_processed,
+                          migrated=report.entries_migrated,
+                          nbytes=report.bytes_migrated,
+                          caught_up=report.caught_up)
         return report
 
     def _record(self, report: ReintegrationReport) -> None:

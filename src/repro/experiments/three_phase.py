@@ -241,6 +241,10 @@ def run_three_phase(
         if elastic_mode:
             cluster.resize(n)
             refresh_client_coefficients()
+            # The resize may open a resize.cycle span; grab it before
+            # the (logically instant) re-integration pass closes it so
+            # the byte-moving flow below is parented to its cycle.
+            cycle = cluster.reintegration_cycle
             if mode == "selective":
                 backlog = cluster.selective_backlog_bytes()
                 report = cluster.run_selective_reintegration()
@@ -251,7 +255,7 @@ def run_three_phase(
                         coefficients=migration_coefficients({}),
                         total_bytes=float(volume),
                         rate_cap=selective_rate_limit,
-                    ))
+                    ), parent=cycle)
             elif mode == "full":
                 moved = cluster.run_full_reintegration()
                 if moved > 0:
@@ -259,7 +263,7 @@ def run_three_phase(
                         name="migration",
                         coefficients=migration_coefficients({}),
                         total_bytes=float(moved),
-                    ))
+                    ), parent=cycle)
         else:
             # Baseline: any departures still pending are abandoned, the
             # servers rejoin empty and consistent hashing pulls their

@@ -1,18 +1,25 @@
-"""repro.obs — structured tracing, metrics, and profiling hooks.
+"""repro.obs — structured tracing, spans, invariants, and metrics.
 
 The observability layer under every experiment and benchmark:
 
 * :class:`~repro.obs.trace.TraceBus` (``OBS.bus``) — structured event
   stream with pluggable sinks (ring buffer, JSONL file, null);
+* :class:`~repro.obs.spans.SpanTracker` (``OBS.spans``) —
+  ``span.begin``/``span.end`` pairs around the major lifecycles
+  (flows, resize cycles, re-integration passes, recovery);
+* :mod:`~repro.obs.invariants` — online checkers over the event
+  stream (``repro check``, the ``--check`` flag);
+* :mod:`~repro.obs.report` — the ``repro report`` markdown run
+  analysis built from one JSONL trace;
 * :class:`~repro.obs.metrics.MetricsRegistry` (``OBS.metrics``) —
   named counters / gauges / fixed-bucket histograms with a
   deterministic ``snapshot()`` / ``render()`` API;
 * :data:`~repro.obs.runtime.OBS` — the process-wide runtime binding
-  the two, plus the ``hot`` switch for wall-clock ``perf.*`` timers on
+  them, plus the ``hot`` switch for wall-clock ``perf.*`` timers on
   the hot paths (ring lookup, placement, fair-share solve).
 
-See docs/OBSERVABILITY.md for event kinds, the sink protocol, and
-metric naming conventions.
+See docs/OBSERVABILITY.md for event kinds, the span schema, the
+checker protocol, and metric naming conventions.
 
 Examples
 --------
@@ -23,8 +30,17 @@ Examples
 42
 """
 
+from repro.obs.invariants import (
+    Checker,
+    CheckerSink,
+    InvariantSuite,
+    Violation,
+    check_events,
+    default_checkers,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import OBS, Runtime, get_runtime
+from repro.obs.spans import Span, SpanTracker
 from repro.obs.trace import (
     JSONLSink,
     NullSink,
@@ -32,6 +48,8 @@ from repro.obs.trace import (
     Sink,
     TraceBus,
     TraceEvent,
+    TraceParseError,
+    iter_jsonl,
     read_jsonl,
 )
 
@@ -41,26 +59,42 @@ __all__ = [
     "get_runtime",
     "TraceBus",
     "TraceEvent",
+    "TraceParseError",
     "Sink",
     "NullSink",
     "RingBufferSink",
     "JSONLSink",
     "read_jsonl",
+    "iter_jsonl",
+    "Span",
+    "SpanTracker",
+    "Checker",
+    "CheckerSink",
+    "InvariantSuite",
+    "Violation",
+    "check_events",
+    "default_checkers",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "summarize_trace",
     "render_trace_stats",
+    "check_trace",
+    "render_check",
+    "render_run_report",
 ]
 
 
 def __getattr__(name: str):
-    # repro.obs.stats pulls in the ASCII renderers of repro.metrics,
-    # which sit above this package in the import graph (instrumented
-    # modules import repro.obs.runtime at import time) — resolve the
-    # stats helpers lazily to keep the layering acyclic.
+    # repro.obs.stats / repro.obs.report pull in the ASCII renderers of
+    # repro.metrics, which sit above this package in the import graph
+    # (instrumented modules import repro.obs.runtime at import time) —
+    # resolve those helpers lazily to keep the layering acyclic.
     if name in ("summarize_trace", "render_trace_stats"):
         from repro.obs import stats
         return getattr(stats, name)
+    if name in ("check_trace", "render_check", "render_run_report"):
+        from repro.obs import report
+        return getattr(report, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,398 @@
+"""Online invariant checkers over the trace-event stream.
+
+The simulator's correctness rests on a handful of properties the paper
+states or assumes — versions only grow, migration never targets a
+powered-off server, the dirty table drives selective re-integration,
+the fair-share solver never oversubscribes a disk.  A
+:class:`Checker` consumes the event stream one event at a time and
+records :class:`Violation`\\ s; :class:`InvariantSuite` fans one stream
+out to many checkers.
+
+Checkers run in two modes, sharing the same code path:
+
+* **offline** — over a JSONL trace file
+  (:func:`repro.obs.report.check_trace`, the ``repro check`` command);
+* **live** — attached to the bus as a :class:`CheckerSink` while an
+  experiment runs (the CLI's ``--check`` flag), so CI fails the moment
+  a regression emits an impossible event.
+
+Every checker is stateless across suites (construct fresh per run) and
+tolerant of partial traces: an invariant is only evaluated once the
+events required to ground it have been seen, so a trace that never
+mentions server power states trivially passes the power checkers.
+
+The stock suite (:func:`default_checkers`):
+
+====================== ================================================
+checker                invariant
+====================== ================================================
+``version-monotonic``  ``version.advance`` epochs strictly increase
+``powered-move``       no ``migration.move`` targets a powered-off rank
+``dirty-discipline``   ``dirty.insert`` only below full power, and
+                       selective re-integration only moves objects the
+                       dirty table has seen
+``bandwidth-cap``      no server's allocated disk rate exceeds its
+                       capacity in any tick
+``flow-accounting``    every started flow finishes or is cancelled
+``machine-hours``      ``power.sample`` active counts agree with the
+                       ``server.state`` transitions between them
+====================== ================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.obs.trace import Sink, TraceEvent
+
+__all__ = [
+    "Violation",
+    "Checker",
+    "InvariantSuite",
+    "CheckerSink",
+    "default_checkers",
+    "check_events",
+    "VersionMonotonicChecker",
+    "PoweredMoveChecker",
+    "DirtyDisciplineChecker",
+    "BandwidthCapChecker",
+    "FlowAccountingChecker",
+    "MachineHourChecker",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to the offending event."""
+
+    checker: str
+    message: str
+    #: Position of the event in its stream: the JSONL line number when
+    #: checking a file, the 1-based emit ordinal when checking live.
+    index: int
+    t: Optional[float]
+    event: TraceEvent
+
+    def describe(self) -> str:
+        t = "-" if self.t is None else f"{self.t:g}"
+        return (f"line {self.index}  t={t}  [{self.checker}] "
+                f"{self.message}")
+
+
+class Checker:
+    """One online invariant.
+
+    Subclasses set :attr:`name`, override :meth:`observe` (called per
+    event) and optionally :meth:`finish` (called once, after the last
+    event, for whole-trace invariants like flow accounting)."""
+
+    name = "checker"
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    def fail(self, event: TraceEvent, index: int, message: str) -> None:
+        t = event.get("t")
+        self.violations.append(Violation(
+            checker=self.name, message=message, index=index,
+            t=t if isinstance(t, (int, float)) else None, event=event))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ----------------------------------------------------------------------
+# concrete checkers
+# ----------------------------------------------------------------------
+class VersionMonotonicChecker(Checker):
+    """Membership versions advance strictly monotonically
+    (§III-E-1: every resize creates the *next* epoch)."""
+
+    name = "version-monotonic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: Optional[int] = None
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        if event.get("kind") != "version.advance":
+            return
+        version = event.get("version")
+        if not isinstance(version, int):
+            self.fail(event, index,
+                      f"version.advance without integer version: "
+                      f"{version!r}")
+            return
+        if self._last is not None and version <= self._last:
+            self.fail(event, index,
+                      f"version went {self._last} -> {version} "
+                      f"(must strictly increase)")
+        self._last = version
+
+
+class PoweredMoveChecker(Checker):
+    """No migration ever targets a powered-off server — powered-off
+    replicas are parked, not written (§III-B: secondaries power off
+    *because* nothing needs to reach them)."""
+
+    name = "powered-move"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._off: Set[int] = set()
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        if kind == "server.state":
+            rank = event.get("rank")
+            if event.get("state") == "off":
+                self._off.add(rank)          # type: ignore[arg-type]
+            else:
+                self._off.discard(rank)      # type: ignore[arg-type]
+        elif kind == "server.fail":
+            self._off.add(event.get("rank"))  # type: ignore[arg-type]
+        elif kind == "migration.move":
+            targets = event.get("to") or ()
+            for rank in targets:             # type: ignore[union-attr]
+                if rank in self._off:
+                    self.fail(event, index,
+                              f"migration.move targets powered-off "
+                              f"rank {rank}")
+
+
+class DirtyDisciplineChecker(Checker):
+    """The dirty table's contract (§III-E-2): entries are only created
+    below full power, and selective re-integration only ever moves
+    objects the dirty table has recorded."""
+
+    name = "dirty-discipline"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._full_power: Optional[bool] = None   # unknown until seen
+        self._dirty_oids: Set[int] = set()
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        if kind == "version.advance":
+            fp = event.get("full_power")
+            if isinstance(fp, bool):
+                self._full_power = fp
+        elif kind == "dirty.insert":
+            if self._full_power is True:
+                self.fail(event, index,
+                          "dirty.insert while the cluster is at full "
+                          "power (writes at full power are clean)")
+            self._dirty_oids.add(event.get("oid"))  # type: ignore[arg-type]
+        elif kind == "migration.move":
+            oid = event.get("oid")
+            if oid not in self._dirty_oids:
+                self.fail(event, index,
+                          f"selective re-integration moved object "
+                          f"{oid} absent from the dirty table")
+
+
+class BandwidthCapChecker(Checker):
+    """The fair-share allocation never oversubscribes a disk: the
+    per-tick ``bandwidth.solve`` event reports the most-loaded
+    server's utilisation, which must stay ≤ 1 (small float tolerance
+    for the progressive-filling arithmetic)."""
+
+    name = "bandwidth-cap"
+    TOLERANCE = 1e-6
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        if event.get("kind") != "bandwidth.solve":
+            return
+        util = event.get("max_util")
+        if not isinstance(util, (int, float)):
+            return              # pre-span-era trace: field absent
+        if util > 1.0 + self.TOLERANCE:
+            self.fail(event, index,
+                      f"server {event.get('max_util_rank')} allocated "
+                      f"{util:.6f}x its disk capacity in one tick")
+
+
+class FlowAccountingChecker(Checker):
+    """Every ``flow.start`` is matched by a ``flow.finish`` or a
+    ``flow.cancel`` — no flow silently evaporates (lost bytes would be
+    invisible in the throughput figures)."""
+
+    name = "flow-accounting"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: span_id -> (index, event) of the still-open flow.
+        self._open: Dict[object, Tuple[int, TraceEvent]] = {}
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        if kind == "flow.start":
+            key = event.get("span_id", ("anon", len(self._open), index))
+            self._open[key] = (index, event)
+        elif kind in ("flow.finish", "flow.cancel"):
+            key = event.get("span_id")
+            if key is not None:
+                if key in self._open:
+                    del self._open[key]
+                else:
+                    self.fail(event, index,
+                              f"{kind} for a flow that never started "
+                              f"(span_id={key!r})")
+                return
+            # Pre-span trace: retire the oldest open flow with a
+            # matching name.
+            name = event.get("name")
+            for k, (_i, ev) in self._open.items():
+                if ev.get("name") == name:
+                    del self._open[k]
+                    return
+            self.fail(event, index,
+                      f"{kind} for flow {name!r} that never started")
+
+    def finish(self) -> None:
+        for index, event in self._open.values():
+            self.fail(event, index,
+                      f"flow {event.get('name')!r} "
+                      f"(span_id={event.get('span_id')!r}) started but "
+                      f"never finished or was cancelled")
+
+
+class MachineHourChecker(Checker):
+    """Machine-hour samples agree with power transitions: between two
+    consecutive ``power.sample`` events, the change in the sampled
+    active count must equal the net ``server.state`` on/off delta.
+    Traces without ``server.state`` events (pure policy timelines)
+    are vacuously consistent."""
+
+    name = "machine-hours"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_sample: Optional[int] = None
+        self._delta = 0
+        self._state_seen_since_sample = False
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        if kind == "server.state":
+            self._delta += 1 if event.get("state") == "on" else -1
+            self._state_seen_since_sample = True
+        elif kind == "server.fail":
+            self._delta -= 1
+            self._state_seen_since_sample = True
+        elif kind == "power.sample":
+            active = event.get("active")
+            if not isinstance(active, int):
+                return
+            if (self._last_sample is not None
+                    and self._state_seen_since_sample):
+                expected = self._last_sample + self._delta
+                if active != expected:
+                    self.fail(event, index,
+                              f"power.sample active={active} but "
+                              f"server.state transitions imply "
+                              f"{expected} "
+                              f"({self._last_sample}{self._delta:+d})")
+            self._last_sample = active
+            self._delta = 0
+            self._state_seen_since_sample = False
+
+
+# ----------------------------------------------------------------------
+# the suite
+# ----------------------------------------------------------------------
+def default_checkers() -> List[Checker]:
+    """A fresh instance of every stock checker."""
+    return [
+        VersionMonotonicChecker(),
+        PoweredMoveChecker(),
+        DirtyDisciplineChecker(),
+        BandwidthCapChecker(),
+        FlowAccountingChecker(),
+        MachineHourChecker(),
+    ]
+
+
+class InvariantSuite:
+    """Fan one event stream out to a set of checkers.
+
+    Examples
+    --------
+    >>> suite = InvariantSuite()
+    >>> suite.observe({"kind": "version.advance", "t": 0.0,
+    ...                "version": 2, "active": 6, "full_power": False}, 1)
+    >>> suite.observe({"kind": "version.advance", "t": 1.0,
+    ...                "version": 2, "active": 8, "full_power": False}, 2)
+    >>> [v.checker for v in suite.finish()]
+    ['version-monotonic']
+    """
+
+    def __init__(self, checkers: Optional[List[Checker]] = None) -> None:
+        self.checkers = (checkers if checkers is not None
+                         else default_checkers())
+        self._finished = False
+        self.events_seen = 0
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        self.events_seen += 1
+        for checker in self.checkers:
+            checker.observe(event, index)
+
+    def finish(self) -> List[Violation]:
+        """Run end-of-stream checks (once) and return all violations,
+        ordered by stream position."""
+        if not self._finished:
+            self._finished = True
+            for checker in self.checkers:
+                checker.finish()
+        return self.violations
+
+    @property
+    def violations(self) -> List[Violation]:
+        out: List[Violation] = []
+        for checker in self.checkers:
+            out.extend(checker.violations)
+        out.sort(key=lambda v: v.index)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checkers)
+
+
+def check_events(events: Iterable[TraceEvent],
+                 checkers: Optional[List[Checker]] = None
+                 ) -> List[Violation]:
+    """Run a suite over an in-memory event sequence (1-based indices)
+    and return the violations."""
+    suite = InvariantSuite(checkers)
+    for index, event in enumerate(events, start=1):
+        suite.observe(event, index)
+    return suite.finish()
+
+
+class CheckerSink(Sink):
+    """Bus sink that feeds a live run's events straight into an
+    :class:`InvariantSuite` — the ``--check`` flag's engine.  Indices
+    are emit ordinals (1-based)."""
+
+    def __init__(self, suite: Optional[InvariantSuite] = None) -> None:
+        self.suite = suite if suite is not None else InvariantSuite()
+        self._count = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self._count += 1
+        self.suite.observe(event, self._count)
+
+    def finish(self) -> List[Violation]:
+        return self.suite.finish()

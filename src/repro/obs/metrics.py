@@ -104,6 +104,28 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 <= q <= 1``) by linear
+        interpolation within the bucket holding the target rank — the
+        Prometheus ``histogram_quantile`` estimate.  The first bucket
+        interpolates from a lower bound of 0; ranks falling in the
+        overflow bucket clamp to the largest finite bound (the estimate
+        cannot exceed what the buckets resolve)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        lower = 0.0
+        for bound, n in zip(self.bounds, self.counts):
+            if n and cum + n >= target:
+                frac = (target - cum) / n
+                return lower + (bound - lower) * min(1.0, max(0.0, frac))
+            cum += n
+            lower = bound
+        return self.bounds[-1]
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,
@@ -225,6 +247,9 @@ class MetricsRegistry:
             if isinstance(inst, Histogram):
                 rows.append([key, "histogram",
                              f"n={inst.count} mean={inst.mean:.3g} "
+                             f"p50={inst.quantile(0.5):.3g} "
+                             f"p95={inst.quantile(0.95):.3g} "
+                             f"p99={inst.quantile(0.99):.3g} "
                              f"sum={inst.total:.6g}"])
             elif isinstance(inst, Gauge):
                 rows.append([key, "gauge", inst.value])

@@ -1,0 +1,331 @@
+"""Run analysis: the ``repro check`` and ``repro report`` commands.
+
+Both consume a JSONL trace written by ``--trace-out`` and turn the raw
+event stream into judgement:
+
+* :func:`check_trace` replays the trace through the stock
+  :mod:`~repro.obs.invariants` suite; ``repro check`` exits non-zero
+  and lists the offending lines if any invariant was violated.
+* :func:`render_run_report` produces a markdown run report — lifecycle
+  timeline, span-duration statistics, migration/recovery byte
+  breakdown per server, and the invariant summary — the artefact a
+  reviewer reads *instead of* 100k raw events.
+
+Violation indices are JSONL line numbers, so ``repro check``'s output
+is directly greppable against the trace file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.invariants import Checker, InvariantSuite, Violation
+from repro.obs.trace import TraceEvent, iter_jsonl
+
+__all__ = [
+    "check_trace",
+    "render_check",
+    "SpanRecord",
+    "collect_spans",
+    "render_run_report",
+]
+
+#: Cap on violations listed in full (the count is always exact).
+MAX_LISTED_VIOLATIONS = 50
+
+#: Point events worth a timeline row, with a one-line detail renderer.
+_MILESTONE_KINDS = (
+    "power.resize",
+    "version.advance",
+    "server.fail",
+    "migration.full",
+    "migration.addition",
+    "recovery.rereplicate",
+)
+
+
+# ----------------------------------------------------------------------
+# check
+# ----------------------------------------------------------------------
+def check_trace(path: str,
+                checkers: Optional[List[Checker]] = None
+                ) -> InvariantSuite:
+    """Replay the trace at *path* through an invariant suite (stock
+    checkers unless given).  Violation indices are JSONL line numbers.
+    Raises :class:`~repro.obs.trace.TraceParseError` on corrupt lines.
+    """
+    suite = InvariantSuite(checkers)
+    for line_no, event in iter_jsonl(path):
+        suite.observe(event, line_no)
+    suite.finish()
+    return suite
+
+
+def render_check(path: str,
+                 checkers: Optional[List[Checker]] = None
+                 ) -> Tuple[str, int]:
+    """The ``repro check`` report: ``(text, exit_code)`` — 0 when every
+    invariant holds, 1 when any was violated."""
+    suite = check_trace(path, checkers)
+    violations = suite.violations
+    names = ", ".join(c.name for c in suite.checkers)
+    if not violations:
+        return (f"{path}: {suite.events_seen} events — all invariants "
+                f"hold ({names})"), 0
+    lines = [f"{path}: {len(violations)} invariant violation(s) in "
+             f"{suite.events_seen} events", ""]
+    for v in violations[:MAX_LISTED_VIOLATIONS]:
+        lines.append(v.describe())
+    if len(violations) > MAX_LISTED_VIOLATIONS:
+        lines.append(f"... and {len(violations) - MAX_LISTED_VIOLATIONS} "
+                     f"more")
+    failed = sorted({v.checker for v in violations})
+    lines += ["", f"FAIL: {', '.join(failed)}"]
+    return "\n".join(lines), 1
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+class SpanRecord:
+    """One reconstructed span: its begin event joined with its end."""
+
+    __slots__ = ("name", "span_id", "parent_id", "t_begin", "t_end",
+                 "duration")
+
+    def __init__(self, name: str, span_id: object,
+                 parent_id: object, t_begin: Optional[float]) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t_begin = t_begin
+        self.t_end: Optional[float] = None
+        self.duration: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        return self.t_end is None
+
+
+def collect_spans(events: Sequence[TraceEvent]) -> List[SpanRecord]:
+    """Pair ``span.begin``/``span.end`` events by ``span_id``, in begin
+    order.  Ends without a begin are ignored (truncated trace head);
+    begins without an end stay marked open."""
+    by_id: Dict[object, SpanRecord] = {}
+    order: List[SpanRecord] = []
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == "span.begin":
+            rec = SpanRecord(str(ev.get("name", "?")), ev.get("span_id"),
+                             ev.get("parent_id"), _num(ev.get("t")))
+            by_id[rec.span_id] = rec
+            order.append(rec)
+        elif kind == "span.end":
+            rec = by_id.get(ev.get("span_id"))
+            if rec is not None and rec.open:
+                rec.t_end = _num(ev.get("t"))
+                d = ev.get("duration")
+                rec.duration = (float(d) if isinstance(d, (int, float))
+                                else None)
+    return order
+
+
+def _num(v: object) -> Optional[float]:
+    return float(v) if isinstance(v, (int, float)) else None
+
+
+def _fmt_t(v: Optional[float]) -> str:
+    return "-" if v is None else f"{v:.1f}"
+
+
+def _fmt_gb(nbytes: float) -> str:
+    return f"{nbytes / 1e9:.3f}"
+
+
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+def render_run_report(path: str, max_timeline_rows: int = 40) -> str:
+    """The ``repro report`` markdown document for one trace file."""
+    events: List[TraceEvent] = []
+    suite = InvariantSuite()
+    for line_no, event in iter_jsonl(path):
+        events.append(event)
+        suite.observe(event, line_no)
+    suite.finish()
+
+    times = [t for t in (_num(e.get("t")) for e in events) if t is not None]
+    t0, t1 = (min(times), max(times)) if times else (None, None)
+    kinds: Dict[str, int] = {}
+    for e in events:
+        k = str(e.get("kind", "?"))
+        kinds[k] = kinds.get(k, 0) + 1
+
+    out: List[str] = [f"# Run report — {path}", ""]
+    extent = ("" if t0 is None
+              else f" over t = [{t0:g}, {t1:g}] s of simulated time")
+    out.append(f"{len(events)} trace events across {len(kinds)} event "
+               f"kinds{extent}.")
+    out.append("")
+
+    # ---------------- lifecycle timeline -----------------------------
+    out += ["## Lifecycle timeline", ""]
+    milestones = [(e, i) for i, e in enumerate(events)
+                  if e.get("kind") in _MILESTONE_KINDS]
+    spans = collect_spans(events)
+    top_spans = [s for s in spans if s.parent_id is None
+                 and s.name != "flow"]
+    rows: List[Tuple[float, str, str]] = []
+    for e, _i in milestones:
+        rows.append((_num(e.get("t")) or 0.0, str(e.get("kind")),
+                     _milestone_detail(e)))
+    for s in top_spans:
+        detail = ("open (never ended)" if s.open
+                  else f"duration {s.duration:g} s")
+        rows.append((s.t_begin or 0.0, f"span {s.name}",
+                     f"id {s.span_id}: {detail}"))
+    rows.sort(key=lambda r: r[0])
+    if rows:
+        shown = rows[:max_timeline_rows]
+        out += _md_table(["t (s)", "what", "detail"],
+                         [[f"{t:.1f}", what, detail]
+                          for t, what, detail in shown])
+        if len(rows) > max_timeline_rows:
+            out.append(f"\n({len(rows) - max_timeline_rows} further "
+                       f"timeline rows elided)")
+    else:
+        out.append("(no lifecycle milestones in this trace)")
+    out.append("")
+
+    # ---------------- span durations ----------------------------------
+    out += ["## Span durations", ""]
+    if spans:
+        stats: Dict[str, List[float]] = {}
+        open_count: Dict[str, int] = {}
+        for s in spans:
+            if s.open:
+                open_count[s.name] = open_count.get(s.name, 0) + 1
+            elif s.duration is not None:
+                stats.setdefault(s.name, []).append(s.duration)
+        names = sorted(set(stats) | set(open_count))
+        srows = []
+        for name in names:
+            ds = sorted(stats.get(name, []))
+            if ds:
+                mean = sum(ds) / len(ds)
+                p50 = ds[len(ds) // 2]
+                srows.append([name, len(ds), open_count.get(name, 0),
+                              f"{min(ds):g}", f"{p50:g}", f"{mean:g}",
+                              f"{max(ds):g}", f"{sum(ds):g}"])
+            else:
+                srows.append([name, 0, open_count.get(name, 0),
+                              "-", "-", "-", "-", "-"])
+        out += _md_table(["span", "closed", "open", "min (s)", "p50 (s)",
+                          "mean (s)", "max (s)", "total (s)"], srows)
+    else:
+        out.append("(no spans in this trace — re-run with a current "
+                   "build to get lifecycle spans)")
+    out.append("")
+
+    # ---------------- byte breakdown ----------------------------------
+    out += ["## Migration & recovery bytes per server", ""]
+    migration_in: Dict[object, float] = {}
+    recovery_in: Dict[object, float] = {}
+    addition_in: Dict[object, float] = {}
+    for e in events:
+        kind = e.get("kind")
+        if kind == "migration.move":
+            targets = e.get("to") or ()
+            nbytes = _num(e.get("nbytes")) or 0.0
+            if targets:
+                per = nbytes / len(targets)   # type: ignore[arg-type]
+                for rank in targets:          # type: ignore[union-attr]
+                    migration_in[rank] = migration_in.get(rank, 0.0) + per
+        elif kind == "recovery.rereplicate":
+            rank = e.get("rank")
+            recovery_in[rank] = (recovery_in.get(rank, 0.0)
+                                 + (_num(e.get("nbytes")) or 0.0))
+        elif kind == "migration.addition":
+            rank = e.get("rank")
+            addition_in[rank] = (addition_in.get(rank, 0.0)
+                                 + (_num(e.get("nbytes")) or 0.0))
+    ranks = sorted(set(migration_in) | set(recovery_in) | set(addition_in),
+                   key=lambda r: ((0, r, "") if isinstance(r, (int, float))
+                                  else (1, 0, str(r))))
+    if ranks:
+        brows = [[rank,
+                  _fmt_gb(migration_in.get(rank, 0.0)),
+                  _fmt_gb(recovery_in.get(rank, 0.0)),
+                  _fmt_gb(addition_in.get(rank, 0.0))]
+                 for rank in ranks]
+        brows.append(["**total**",
+                      _fmt_gb(sum(migration_in.values())),
+                      _fmt_gb(sum(recovery_in.values())),
+                      _fmt_gb(sum(addition_in.values()))])
+        out += _md_table(["rank", "selective migration in (GB)",
+                          "recovery in (GB)", "addition migration (GB)"],
+                         brows)
+    else:
+        out.append("(no migration or recovery traffic in this trace)")
+    out.append("")
+
+    # ---------------- invariants --------------------------------------
+    out += ["## Invariants", ""]
+    violations = suite.violations
+    irows = []
+    per_checker: Dict[str, int] = {}
+    for v in violations:
+        per_checker[v.checker] = per_checker.get(v.checker, 0) + 1
+    for checker in suite.checkers:
+        n = per_checker.get(checker.name, 0)
+        irows.append([checker.name,
+                      "PASS" if n == 0 else "**FAIL**", n])
+    out += _md_table(["checker", "status", "violations"], irows)
+    if violations:
+        out.append("")
+        for v in violations[:MAX_LISTED_VIOLATIONS]:
+            out.append(f"- {v.describe()}")
+        if len(violations) > MAX_LISTED_VIOLATIONS:
+            out.append(f"- ... and "
+                       f"{len(violations) - MAX_LISTED_VIOLATIONS} more")
+    return "\n".join(out)
+
+
+def _milestone_detail(e: TraceEvent) -> str:
+    kind = e.get("kind")
+    if kind == "power.resize":
+        on = e.get("powered_on") or []
+        off = e.get("powered_off") or []
+        parts = [f"v{e.get('version')}: {e.get('active')} active"]
+        if on:
+            parts.append(f"+{on}")
+        if off:
+            parts.append(f"-{off}")
+        return " ".join(parts)
+    if kind == "version.advance":
+        fp = " (full power)" if e.get("full_power") else ""
+        return f"v{e.get('version')}: {e.get('active')} active{fp}"
+    if kind == "server.fail":
+        return (f"rank {e.get('rank')} crashed, lost "
+                f"{e.get('lost_objects')} objects "
+                f"({_fmt_gb(_num(e.get('lost_bytes')) or 0.0)} GB)")
+    if kind == "migration.full":
+        return (f"full re-integration moved "
+                f"{_fmt_gb(_num(e.get('nbytes')) or 0.0)} GB "
+                f"at v{e.get('version')}")
+    if kind == "migration.addition":
+        return (f"rank {e.get('rank')} re-added, pulled "
+                f"{_fmt_gb(_num(e.get('nbytes')) or 0.0)} GB")
+    if kind == "recovery.rereplicate":
+        return (f"rank {e.get('rank')}: re-replicated "
+                f"{_fmt_gb(_num(e.get('nbytes')) or 0.0)} GB")
+    return ""

@@ -1,11 +1,14 @@
 """The process-wide observability runtime.
 
 Instrumented modules import the :data:`OBS` singleton once and use its
-three members:
+members:
 
 * ``OBS.bus`` — the :class:`~repro.obs.trace.TraceBus`.  Emitting with
   no sink attached is a single branch; call sites that build expensive
   field dicts guard on ``OBS.bus.active``.
+* ``OBS.spans`` — the :class:`~repro.obs.spans.SpanTracker` that pairs
+  ``span.begin``/``span.end`` events around the major lifecycles
+  (flows, resize cycles, re-integration passes, recovery).
 * ``OBS.metrics`` — the :class:`~repro.obs.metrics.MetricsRegistry` of
   always-on simulation counters/gauges.
 * ``OBS.hot`` — master switch for *hot-path* profiling (per-lookup
@@ -23,28 +26,32 @@ consumers opt in.  Tests and drivers that need isolation call
 from __future__ import annotations
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracker
 from repro.obs.trace import TraceBus
 
 __all__ = ["Runtime", "OBS", "get_runtime"]
 
 
 class Runtime:
-    """Bundle of trace bus + metrics registry + hot-path switch."""
+    """Bundle of trace bus + span tracker + metrics registry + hot-path
+    switch."""
 
-    __slots__ = ("bus", "metrics", "hot")
+    __slots__ = ("bus", "spans", "metrics", "hot")
 
     def __init__(self) -> None:
         self.bus = TraceBus()
+        self.spans = SpanTracker(self.bus)
         self.metrics = MetricsRegistry()
         self.hot = False
 
     def reset(self) -> None:
         """Return to the pristine state: no sinks, empty registry, hot
-        profiling off, clock at zero."""
+        profiling off, clock at zero, span ids rewound."""
         for sink in list(self.bus.sinks):
             self.bus.detach(sink)
             sink.close()
         self.bus.clock = 0.0
+        self.spans.reset()
         self.metrics.reset()
         self.hot = False
 

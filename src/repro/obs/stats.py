@@ -4,8 +4,13 @@ A JSONL trace is a flat stream of ``{"kind", "t", ...}`` events; this
 module aggregates it into the two tables an engineer reaches for first:
 
 * per-kind counts with time extents (what happened, when);
-* byte totals for the traffic-carrying kinds (how much moved) — the
-  quantities Figures 3/7 and Table II are built from.
+* byte totals for the traffic-carrying kinds and duration totals for
+  span ends (how much moved, how long it took) — the quantities
+  Figures 3/7 and Table II are built from.
+
+``repro stats`` exposes the filters directly: ``--kind`` restricts by
+event kind, ``--since``/``--until`` window on simulation time, and
+``--top N`` keeps only the N kinds moving the most bytes.
 """
 
 from __future__ import annotations
@@ -20,6 +25,10 @@ __all__ = ["TraceSummary", "summarize_trace", "render_trace_stats"]
 #: Event fields that carry a byte volume, in display priority order.
 _BYTE_FIELDS = ("nbytes", "bytes", "total_bytes", "bytes_migrated")
 
+#: Event fields that carry a simulated-seconds interval (``span.end``'s
+#: payload) — aggregated separately from bytes, never conflated.
+_DURATION_FIELDS = ("duration",)
+
 
 class TraceSummary:
     """Aggregated view of one trace."""
@@ -28,7 +37,7 @@ class TraceSummary:
         self.total_events = 0
         self.t_min: Optional[float] = None
         self.t_max: Optional[float] = None
-        #: kind -> [count, t_first, t_last, byte_total]
+        #: kind -> [count, t_first, t_last, byte_total, duration_total]
         self.kinds: Dict[str, List] = {}
 
     def add(self, event: TraceEvent) -> None:
@@ -37,7 +46,7 @@ class TraceSummary:
         t = event.get("t")
         row = self.kinds.get(kind)
         if row is None:
-            row = [0, None, None, 0.0]
+            row = [0, None, None, 0.0, 0.0]
             self.kinds[kind] = row
         row[0] += 1
         if isinstance(t, (int, float)):
@@ -54,6 +63,11 @@ class TraceSummary:
             if isinstance(v, (int, float)):
                 row[3] += float(v)
                 break
+        for field in _DURATION_FIELDS:
+            v = event.get(field)
+            if isinstance(v, (int, float)):
+                row[4] += float(v)
+                break
 
 
 def summarize_trace(events: Sequence[TraceEvent]) -> TraceSummary:
@@ -63,11 +77,19 @@ def summarize_trace(events: Sequence[TraceEvent]) -> TraceSummary:
     return summary
 
 
-def render_trace_stats(path: str, kind: Optional[str] = None) -> str:
+def render_trace_stats(path: str, kind: Optional[str] = None,
+                       since: Optional[float] = None,
+                       until: Optional[float] = None,
+                       top: Optional[int] = None) -> str:
     """The ``repro stats`` report for one JSONL trace file.
 
     *kind* restricts the per-kind table to kinds equal to it or, with a
-    trailing dot, sharing its prefix (``migration.``)."""
+    trailing dot, sharing its prefix (``migration.``).  *since* /
+    *until* keep only events whose simulation time falls in
+    ``[since, until]`` (events without a numeric ``t`` are dropped by
+    either bound).  *top* sorts the kinds by byte total descending and
+    keeps the first N (default: every kind, name-sorted).
+    """
     events = read_jsonl(path)
     if kind is not None:
         if kind.endswith("."):
@@ -75,22 +97,37 @@ def render_trace_stats(path: str, kind: Optional[str] = None) -> str:
                       if str(e.get("kind", "")).startswith(kind)]
         else:
             events = [e for e in events if e.get("kind") == kind]
+    if since is not None or until is not None:
+        def _in_window(e: TraceEvent) -> bool:
+            t = e.get("t")
+            if not isinstance(t, (int, float)):
+                return False
+            return ((since is None or t >= since)
+                    and (until is None or t <= until))
+        events = [e for e in events if _in_window(e)]
     summary = summarize_trace(events)
     if summary.total_events == 0:
         return f"{path}: no matching trace events"
 
+    kinds = sorted(summary.kinds)
+    if top is not None:
+        if top < 1:
+            raise ValueError("--top must be >= 1")
+        kinds = sorted(kinds, key=lambda k: (-summary.kinds[k][3], k))
+        kinds = kinds[:top]
     rows = []
-    for k in sorted(summary.kinds):
-        count, t0, t1, nbytes = summary.kinds[k]
+    for k in kinds:
+        count, t0, t1, nbytes, dur = summary.kinds[k]
         rows.append([
             k, count,
             "-" if t0 is None else round(t0, 3),
             "-" if t1 is None else round(t1, 3),
             "-" if nbytes == 0 else f"{nbytes / 1e9:.3f}",
+            "-" if dur == 0 else f"{dur:.3f}",
         ])
     span = ("" if summary.t_min is None else
             f", t = [{summary.t_min:g}, {summary.t_max:g}] s")
     return render_table(
-        ["kind", "events", "first t(s)", "last t(s)", "GB"],
+        ["kind", "events", "first t(s)", "last t(s)", "GB", "dur(s)"],
         rows,
         title=f"{path}: {summary.total_events} events{span}")

@@ -37,12 +37,14 @@ from typing import IO, Dict, Iterable, List, Optional, Union
 
 __all__ = [
     "TraceEvent",
+    "TraceParseError",
     "Sink",
     "NullSink",
     "RingBufferSink",
     "JSONLSink",
     "TraceBus",
     "read_jsonl",
+    "iter_jsonl",
 ]
 
 #: A trace event is a flat dict: ``{"kind": str, "t": float|None, ...}``.
@@ -127,14 +129,52 @@ class JSONLSink(Sink):
         self.close()
 
 
-def read_jsonl(path_or_file: Union[str, "IO[str]"]) -> List[TraceEvent]:
-    """Parse a JSONL trace back into its event dicts (blank lines are
-    skipped) — the inverse of :class:`JSONLSink`."""
+class TraceParseError(ValueError):
+    """A JSONL trace line that is not a JSON object (corrupt or
+    truncated).  Carries the 1-based line number so CLI surfaces can
+    point at the offending line without a traceback."""
+
+    def __init__(self, source: str, line_no: int, reason: str) -> None:
+        self.source = source
+        self.line_no = line_no
+        self.reason = reason
+        super().__init__(f"{source}: line {line_no}: {reason}")
+
+
+def iter_jsonl(path_or_file: Union[str, "IO[str]"]):
+    """Yield ``(line_no, event)`` pairs from a JSONL trace (1-based
+    line numbers, blank lines skipped).  Raises
+    :class:`TraceParseError` on a corrupt or truncated line."""
     if hasattr(path_or_file, "read"):
         lines: Iterable[str] = path_or_file  # type: ignore[assignment]
-        return [json.loads(ln) for ln in lines if ln.strip()]
-    with open(str(path_or_file), encoding="utf-8") as fh:
-        return [json.loads(ln) for ln in fh if ln.strip()]
+        source = getattr(path_or_file, "name", "<stream>")
+        yield from _parse_lines(lines, source)
+    else:
+        with open(str(path_or_file), encoding="utf-8") as fh:
+            yield from _parse_lines(fh, str(path_or_file))
+
+
+def _parse_lines(lines: Iterable[str], source: str):
+    for line_no, ln in enumerate(lines, start=1):
+        if not ln.strip():
+            continue
+        try:
+            event = json.loads(ln)
+        except json.JSONDecodeError as exc:
+            raise TraceParseError(source, line_no,
+                                  f"invalid JSON ({exc.msg})") from exc
+        if not isinstance(event, dict):
+            raise TraceParseError(
+                source, line_no,
+                f"expected a JSON object, got {type(event).__name__}")
+        yield line_no, event
+
+
+def read_jsonl(path_or_file: Union[str, "IO[str]"]) -> List[TraceEvent]:
+    """Parse a JSONL trace back into its event dicts (blank lines are
+    skipped) — the inverse of :class:`JSONLSink`.  Raises
+    :class:`TraceParseError` on corrupt lines."""
+    return [event for _line_no, event in iter_jsonl(path_or_file)]
 
 
 class TraceBus:

@@ -51,6 +51,9 @@ class FluidFlow:
     progressed: float = 0.0
     #: Rate granted in the last allocation round.
     last_rate: float = 0.0
+    #: Lifecycle span opened by :meth:`FlowSet.add` (a
+    #: :class:`repro.obs.spans.Span`); closed on finish or cancel.
+    span: Optional[object] = None
 
     @property
     def remaining(self) -> float:
@@ -77,19 +80,35 @@ class FlowSet:
     def __init__(self) -> None:
         self._flows: List[FluidFlow] = []
 
-    def add(self, flow: FluidFlow) -> FluidFlow:
+    def add(self, flow: FluidFlow, parent=None) -> FluidFlow:
+        """Admit a flow, opening its ``flow`` lifecycle span (optionally
+        parented to a larger lifecycle, e.g. a resize cycle)."""
         self._flows.append(flow)
         OBS.metrics.inc("flows.started")
+        flow.span = OBS.spans.begin("flow", parent=parent, flow=flow.name)
         bus = OBS.bus
         if bus.active:
             bus.emit("flow.start", name=flow.name,
+                     span_id=flow.span.span_id,
                      total_bytes=flow.total_bytes,
                      rate_cap=(None if math.isinf(flow.rate_cap)
                                else flow.rate_cap))
         return flow
 
     def remove(self, flow: FluidFlow) -> None:
+        """Retire a flow the driver no longer wants (an open-ended
+        stream at phase end, an abandoned transfer): emits
+        ``flow.cancel`` and closes the span as cancelled."""
         self._flows.remove(flow)
+        OBS.metrics.inc("flows.cancelled")
+        bus = OBS.bus
+        if bus.active:
+            bus.emit("flow.cancel", name=flow.name,
+                     span_id=(flow.span.span_id
+                              if flow.span is not None else None),
+                     nbytes=flow.progressed)
+        if flow.span is not None:
+            flow.span.end(status="cancelled")
 
     def __len__(self) -> int:
         return len(self._flows)
@@ -124,8 +143,22 @@ class FlowSet:
             rates = max_min_fair(specs, capacities)
         bus = OBS.bus
         if bus.active:
+            # Per-resource utilisation of this tick's allocation — the
+            # bandwidth-cap invariant checker audits the maximum.
+            usage: Dict[Hashable, float] = {}
+            for f, rate in zip(live, rates):
+                for res, coef in f.coefficients.items():
+                    usage[res] = usage.get(res, 0.0) + coef * rate
+            max_util, max_util_rank = 0.0, None
+            for res, cap in capacities.items():
+                if cap <= 0:
+                    continue
+                util = usage.get(res, 0.0) / cap
+                if util > max_util:
+                    max_util, max_util_rank = util, res
             bus.emit("bandwidth.solve", flows=len(live),
-                     resources=len(capacities))
+                     resources=len(capacities),
+                     max_util=max_util, max_util_rank=max_util_rank)
 
         achieved: Dict[str, float] = {}
         for f, rate in zip(live, rates):
@@ -137,7 +170,12 @@ class FlowSet:
         for f in finished:
             OBS.metrics.inc("flows.completed")
             if bus.active:
-                bus.emit("flow.finish", name=f.name, nbytes=f.progressed)
+                bus.emit("flow.finish", name=f.name,
+                         span_id=(f.span.span_id
+                                  if f.span is not None else None),
+                         nbytes=f.progressed)
+            if f.span is not None:
+                f.span.end(status="finished")
             if f.on_complete is not None:
                 f.on_complete(f)
         self._flows = [f for f in self._flows if not f.done]

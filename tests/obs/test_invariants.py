@@ -1,0 +1,234 @@
+"""Invariant checkers: each checker's trip-wire, the suite, and the
+seeded-fault detection path through ``repro check``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.invariants import (
+    BandwidthCapChecker,
+    CheckerSink,
+    DirtyDisciplineChecker,
+    FlowAccountingChecker,
+    InvariantSuite,
+    MachineHourChecker,
+    PoweredMoveChecker,
+    VersionMonotonicChecker,
+    check_events,
+)
+from repro.obs.trace import TraceBus
+
+
+def run_checker(checker, events):
+    for i, ev in enumerate(events, start=1):
+        checker.observe(ev, i)
+    checker.finish()
+    return checker.violations
+
+
+class TestVersionMonotonic:
+    def test_increasing_ok(self):
+        evs = [{"kind": "version.advance", "t": 0.0, "version": v}
+               for v in (1, 2, 5)]
+        assert run_checker(VersionMonotonicChecker(), evs) == []
+
+    def test_regression_caught(self):
+        evs = [{"kind": "version.advance", "t": 0.0, "version": 3},
+               {"kind": "version.advance", "t": 1.0, "version": 3}]
+        v = run_checker(VersionMonotonicChecker(), evs)
+        assert len(v) == 1 and "3 -> 3" in v[0].message
+
+    def test_missing_version_field_caught(self):
+        v = run_checker(VersionMonotonicChecker(),
+                        [{"kind": "version.advance", "t": 0.0}])
+        assert len(v) == 1
+
+
+class TestPoweredMove:
+    def test_move_to_on_rank_ok(self):
+        evs = [{"kind": "server.state", "t": 0, "rank": 4, "state": "on"},
+               {"kind": "migration.move", "t": 1, "oid": 7, "to": [4]}]
+        assert run_checker(PoweredMoveChecker(), evs) == []
+
+    def test_move_to_off_rank_caught(self):
+        evs = [{"kind": "server.state", "t": 0, "rank": 9, "state": "off"},
+               {"kind": "migration.move", "t": 1, "oid": 7, "to": [9]}]
+        v = run_checker(PoweredMoveChecker(), evs)
+        assert len(v) == 1 and "rank 9" in v[0].message
+
+    def test_failed_rank_counts_as_off(self):
+        evs = [{"kind": "server.fail", "t": 0, "rank": 2},
+               {"kind": "migration.move", "t": 1, "oid": 1, "to": [2]}]
+        assert len(run_checker(PoweredMoveChecker(), evs)) == 1
+
+    def test_repowered_rank_is_fine_again(self):
+        evs = [{"kind": "server.state", "t": 0, "rank": 9, "state": "off"},
+               {"kind": "server.state", "t": 1, "rank": 9, "state": "on"},
+               {"kind": "migration.move", "t": 2, "oid": 7, "to": [9]}]
+        assert run_checker(PoweredMoveChecker(), evs) == []
+
+
+class TestDirtyDiscipline:
+    def test_insert_below_full_power_ok(self):
+        evs = [{"kind": "version.advance", "t": 0, "version": 2,
+                "full_power": False},
+               {"kind": "dirty.insert", "t": 1, "oid": 5, "version": 2}]
+        assert run_checker(DirtyDisciplineChecker(), evs) == []
+
+    def test_insert_at_full_power_caught(self):
+        evs = [{"kind": "version.advance", "t": 0, "version": 2,
+                "full_power": True},
+               {"kind": "dirty.insert", "t": 1, "oid": 5, "version": 2}]
+        v = run_checker(DirtyDisciplineChecker(), evs)
+        assert len(v) == 1 and "full" in v[0].message
+
+    def test_move_of_untracked_object_caught(self):
+        v = run_checker(DirtyDisciplineChecker(),
+                        [{"kind": "migration.move", "t": 0, "oid": 99,
+                          "to": [3]}])
+        assert len(v) == 1 and "99" in v[0].message
+
+    def test_move_of_tracked_object_ok(self):
+        evs = [{"kind": "version.advance", "t": 0, "version": 2,
+                "full_power": False},
+               {"kind": "dirty.insert", "t": 1, "oid": 5, "version": 2},
+               {"kind": "migration.move", "t": 2, "oid": 5, "to": [3]}]
+        assert run_checker(DirtyDisciplineChecker(), evs) == []
+
+
+class TestBandwidthCap:
+    def test_under_cap_ok(self):
+        evs = [{"kind": "bandwidth.solve", "t": 0, "max_util": 1.0}]
+        assert run_checker(BandwidthCapChecker(), evs) == []
+
+    def test_over_cap_caught(self):
+        evs = [{"kind": "bandwidth.solve", "t": 0, "max_util": 1.5,
+                "max_util_rank": 3}]
+        v = run_checker(BandwidthCapChecker(), evs)
+        assert len(v) == 1 and "server 3" in v[0].message
+
+    def test_legacy_trace_without_field_skipped(self):
+        evs = [{"kind": "bandwidth.solve", "t": 0, "flows": 2}]
+        assert run_checker(BandwidthCapChecker(), evs) == []
+
+
+class TestFlowAccounting:
+    def test_start_finish_pair_ok(self):
+        evs = [{"kind": "flow.start", "t": 0, "name": "client",
+                "span_id": 1},
+               {"kind": "flow.finish", "t": 5, "name": "client",
+                "span_id": 1}]
+        assert run_checker(FlowAccountingChecker(), evs) == []
+
+    def test_cancel_also_retires(self):
+        evs = [{"kind": "flow.start", "t": 0, "name": "client",
+                "span_id": 1},
+               {"kind": "flow.cancel", "t": 5, "name": "client",
+                "span_id": 1}]
+        assert run_checker(FlowAccountingChecker(), evs) == []
+
+    def test_unfinished_flow_caught_at_eof(self):
+        v = run_checker(FlowAccountingChecker(),
+                        [{"kind": "flow.start", "t": 0, "name": "client",
+                          "span_id": 1}])
+        assert len(v) == 1 and "never finished" in v[0].message
+
+    def test_finish_without_start_caught(self):
+        v = run_checker(FlowAccountingChecker(),
+                        [{"kind": "flow.finish", "t": 0, "name": "x",
+                          "span_id": 9}])
+        assert len(v) == 1 and "never started" in v[0].message
+
+    def test_spanless_trace_matches_by_name(self):
+        evs = [{"kind": "flow.start", "t": 0, "name": "client"},
+               {"kind": "flow.finish", "t": 5, "name": "client"}]
+        assert run_checker(FlowAccountingChecker(), evs) == []
+
+
+class TestMachineHours:
+    def test_consistent_samples_ok(self):
+        evs = [{"kind": "power.sample", "t": 0, "active": 10},
+               {"kind": "server.state", "t": 1, "rank": 7, "state": "off"},
+               {"kind": "power.sample", "t": 2, "active": 9}]
+        assert run_checker(MachineHourChecker(), evs) == []
+
+    def test_inconsistent_sample_caught(self):
+        evs = [{"kind": "power.sample", "t": 0, "active": 10},
+               {"kind": "server.state", "t": 1, "rank": 7, "state": "off"},
+               {"kind": "power.sample", "t": 2, "active": 10}]
+        v = run_checker(MachineHourChecker(), evs)
+        assert len(v) == 1 and "imply 9" in v[0].message
+
+    def test_policy_trace_without_states_vacuous(self):
+        evs = [{"kind": "power.sample", "t": 0, "active": 10},
+               {"kind": "power.sample", "t": 1, "active": 6}]
+        assert run_checker(MachineHourChecker(), evs) == []
+
+
+class TestSuite:
+    def test_violations_sorted_by_stream_position(self):
+        violations = check_events([
+            {"kind": "migration.move", "t": 0, "oid": 1, "to": [1]},
+            {"kind": "version.advance", "t": 1, "version": 2},
+            {"kind": "version.advance", "t": 2, "version": 1},
+        ])
+        assert [v.index for v in violations] == sorted(
+            v.index for v in violations)
+        assert {v.checker for v in violations} == {"dirty-discipline",
+                                                   "version-monotonic"}
+
+    def test_finish_runs_once(self):
+        suite = InvariantSuite()
+        suite.observe({"kind": "flow.start", "t": 0, "name": "c",
+                       "span_id": 1}, 1)
+        assert len(suite.finish()) == 1
+        assert len(suite.finish()) == 1     # not doubled
+
+    def test_checker_sink_counts_ordinals(self):
+        bus = TraceBus()
+        sink = bus.attach(CheckerSink())
+        bus.emit("version.advance", t=0.0, version=2)
+        bus.emit("version.advance", t=1.0, version=1)
+        violations = sink.finish()
+        assert len(violations) == 1 and violations[0].index == 2
+
+
+class TestSeededFault:
+    """ISSUE acceptance: forge a migration.move to a powered-off rank
+    into a healthy trace and assert ``repro check`` flags it."""
+
+    @pytest.fixture()
+    def healthy_trace(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["three-phase", "--mode", "selective",
+                     "--scale", "0.05", "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_healthy_trace_passes(self, healthy_trace, capsys):
+        assert main(["check", str(healthy_trace)]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_forged_move_to_powered_off_rank_detected(
+            self, healthy_trace, tmp_path, capsys):
+        events = [json.loads(ln) for ln
+                  in healthy_trace.read_text().splitlines() if ln]
+        off_rank = next(e["rank"] for e in events
+                        if e["kind"] == "server.state"
+                        and e["state"] == "off")
+        idx = next(i for i, e in enumerate(events)
+                   if e["kind"] == "server.state" and e["state"] == "off")
+        forged = dict(events[idx], kind="migration.move", oid=424242,
+                      nbytes=4 << 20, to=[off_rank], dropped=[])
+        forged.pop("rank", None)
+        forged.pop("state", None)
+        events.insert(idx + 1, forged)
+
+        bad = tmp_path / "forged.jsonl"
+        bad.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        assert main(["check", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "powered-move" in out
+        assert f"rank {off_rank}" in out
+        assert f"line {idx + 2}" in out     # 1-based JSONL line number

@@ -56,6 +56,49 @@ class TestInstruments:
         assert d["sum"] >= 0.0
 
 
+class TestHistogramQuantiles:
+    def test_interpolates_within_bucket(self):
+        h = Histogram("h", buckets=[10.0, 20.0])
+        for _ in range(10):
+            h.observe(15.0)       # all in the (10, 20] bucket
+        # target rank = 0.5 * 10 = 5 of 10 in the bucket -> halfway.
+        assert h.quantile(0.5) == pytest.approx(15.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        h = Histogram("h", buckets=[8.0, 16.0])
+        for _ in range(4):
+            h.observe(1.0)
+        assert h.quantile(0.5) == pytest.approx(4.0)   # 0 + 0.5 * 8
+
+    def test_spread_across_buckets(self):
+        h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        # p25 -> end of the first bucket's single sample.
+        assert h.quantile(0.25) == pytest.approx(1.0)
+        # p100 -> top bound.
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_overflow_clamps_to_top_bound(self):
+        h = Histogram("h", buckets=[1.0])
+        h.observe(1000.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_render_includes_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=[1.0, 2.0])
+        h.observe(0.5)
+        out = reg.render()
+        assert "p50=" in out and "p95=" in out and "p99=" in out
+
+
 class TestLabels:
     def test_labelled_instruments_are_distinct(self, reg):
         reg.counter("moves", rank=1).inc()

@@ -1,0 +1,103 @@
+"""Spans: id allocation, event emission, nesting, determinism."""
+
+from repro.obs import OBS
+from repro.obs.spans import SpanTracker
+from repro.obs.trace import RingBufferSink, TraceBus
+
+
+def make_tracker():
+    bus = TraceBus()
+    return bus, SpanTracker(bus)
+
+
+class TestSpanEvents:
+    def test_begin_end_pair_share_id(self):
+        bus, spans = make_tracker()
+        sink = bus.attach(RingBufferSink())
+        bus.clock = 5.0
+        span = spans.begin("resize.cycle", version=3)
+        bus.clock = 12.0
+        span.end(status="drained")
+
+        begin, end = sink.events()
+        assert begin["kind"] == "span.begin"
+        assert begin["name"] == "resize.cycle"
+        assert begin["version"] == 3
+        assert end["kind"] == "span.end"
+        assert end["span_id"] == begin["span_id"]
+        assert end["duration"] == 7.0
+        assert end["status"] == "drained"
+
+    def test_no_parent_id_field_on_root_spans(self):
+        bus, spans = make_tracker()
+        sink = bus.attach(RingBufferSink())
+        spans.begin("flow")
+        assert "parent_id" not in sink.events()[0]
+
+    def test_parent_linkage(self):
+        bus, spans = make_tracker()
+        sink = bus.attach(RingBufferSink())
+        cycle = spans.begin("resize.cycle")
+        child = spans.begin("reintegration.pass", parent=cycle)
+        assert child.parent_id == cycle.span_id
+        assert sink.events("span.begin")[1]["parent_id"] == cycle.span_id
+
+    def test_child_may_outlive_parent_close(self):
+        bus, spans = make_tracker()
+        bus.attach(RingBufferSink())
+        cycle = spans.begin("resize.cycle")
+        cycle.end()
+        child = spans.begin("flow", parent=cycle)
+        assert child.parent_id == cycle.span_id
+
+    def test_end_is_idempotent(self):
+        bus, spans = make_tracker()
+        sink = bus.attach(RingBufferSink())
+        span = spans.begin("flow")
+        span.end()
+        span.end()
+        assert len(sink.events("span.end")) == 1
+
+    def test_duration_never_negative(self):
+        bus, spans = make_tracker()
+        bus.attach(RingBufferSink())
+        bus.clock = 10.0
+        span = spans.begin("flow")
+        assert span.end(t=3.0) == 0.0
+
+    def test_context_manager_closes(self):
+        bus, spans = make_tracker()
+        sink = bus.attach(RingBufferSink())
+        with spans.span("recovery.fail", rank=4):
+            pass
+        assert len(sink.events("span.end")) == 1
+
+
+class TestDeterminism:
+    def test_ids_sequential_and_reset(self):
+        bus, spans = make_tracker()
+        a = spans.begin("x")
+        b = spans.begin("y")
+        assert (a.span_id, b.span_id) == (1, 2)
+        spans.reset()
+        assert spans.begin("z").span_id == 1
+
+    def test_ids_allocated_even_without_sink(self):
+        # Spans are always tracked so the id sequence does not depend
+        # on whether a sink happened to be attached — the property the
+        # byte-identical-trace guarantee rests on.
+        bus, spans = make_tracker()
+        silent = spans.begin("flow")
+        assert not bus.active
+        sink = bus.attach(RingBufferSink())
+        loud = spans.begin("flow")
+        assert loud.span_id == silent.span_id + 1
+        assert len(sink.events("span.begin")) == 1
+
+    def test_runtime_reset_rewinds_global_ids(self):
+        OBS.reset()
+        first = OBS.spans.begin("probe").span_id
+        OBS.spans.begin("probe2")
+        OBS.reset()
+        assert OBS.spans.begin("probe").span_id == first
+        OBS.reset()

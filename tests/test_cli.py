@@ -117,3 +117,91 @@ class TestObservabilityFlags:
         bad = tmp_path / "no_such_dir" / "t.jsonl"
         assert main(["info", "--trace-out", str(bad)]) == 2
         assert "cannot open trace file" in capsys.readouterr().err
+
+    def test_stats_time_window(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["three-phase", "--scale", "0.05",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+
+        # The first tick lands at t=1; a window past it excludes the
+        # t=0 flow.start but keeps the engine ticks.
+        assert main(["stats", str(path), "--since", "1.0",
+                     "--until", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.tick" in out
+        assert "t = [1, 2] s" in out
+
+        assert main(["stats", str(path), "--since", "1e9"]) == 0
+        assert "no matching trace events" in capsys.readouterr().out
+
+    def test_stats_top_n(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["three-phase", "--scale", "0.05",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+
+        assert main(["stats", str(path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # Only the biggest byte-mover survives; the (byteless)
+        # engine.tick kind cannot be it.
+        assert "flow." in out or "migration" in out
+        assert "engine.tick" not in out
+
+    def test_check_flag_live_clean_run(self, capsys):
+        assert main(["three-phase", "--scale", "0.05", "--check"]) == 0
+        err = capsys.readouterr().err
+        assert "all invariants hold" in err
+
+    def test_check_subcommand_missing_file(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_report_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["three-phase", "--scale", "0.05",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report" in out
+        assert "## Invariants" in out
+
+
+class TestCorruptTraceHandling:
+    """Corrupt/truncated JSONL must produce a clean exit 2 with the
+    offending line number — never a traceback."""
+
+    @pytest.fixture()
+    def corrupt(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"kind":"engine.tick","t":1.0}\n'
+                        '{"kind":"flow.start","t":2.0,'  # truncated line
+                        '\n'
+                        '{"kind":"engine.tick","t":3.0}\n')
+        return str(path)
+
+    def test_stats_reports_line_number(self, corrupt, capsys):
+        assert main(["stats", corrupt]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "Traceback" not in err
+
+    def test_check_reports_line_number(self, corrupt, capsys):
+        assert main(["check", corrupt]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "Traceback" not in err
+
+    def test_report_reports_line_number(self, corrupt, capsys):
+        assert main(["report", corrupt]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "Traceback" not in err
+
+    def test_non_object_line_rejected(self, tmp_path, capsys):
+        path = tmp_path / "list.jsonl"
+        path.write_text('[1, 2, 3]\n')
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err and "object" in err
