@@ -2,9 +2,14 @@
 
 Not a paper artefact — these guard the implementation's own
 performance: object placement is the operation every IO issues, ring
-construction happens per re-weighting, and the bulk successor lookup
-is the vectorised path the analysis code leans on.
+construction happens per re-weighting, and the slot-table kernel's
+scalar/bulk locate paths are what every whole-cluster sweep leans on.
+The committed ``benchmarks/reports/perf_core_baseline.json`` records
+the medians these benches produced when the kernel landed; CI's
+bench-smoke job uploads the fresh timings next to it.
 """
+
+import itertools
 
 import numpy as np
 import pytest
@@ -21,8 +26,12 @@ def ech():
 
 
 def bench_primary_placement(benchmark, ech):
-    """Algorithm 1, one object (the per-IO cost)."""
-    counter = iter(range(10**9))
+    """Algorithm 1, one fresh object against a settled slot table (the
+    steady-state per-IO cost: hash + successor search + table hit).
+    First-touch fills pay the reference ring walk once per slot — that
+    walk is benched directly by bench_original_placement."""
+    ech.locate_bulk(np.arange(200_000))    # settle the slot table
+    counter = iter(range(10**6, 10**9))    # fresh oids, warm slots
 
     def place():
         return ech.locate(next(counter))
@@ -61,6 +70,73 @@ def bench_bulk_successor(benchmark, ech):
 
     owners = benchmark(lookup)
     assert owners.shape == (100_000,)
+
+
+def bench_locate_settled(benchmark, ech):
+    """Repeated ``locate`` against a settled version: the oid→slot and
+    slot→placement caches are hot, so this is the kernel's scalar
+    fast path (compare with bench_primary_placement, which pays the
+    hash + searchsorted on every fresh oid)."""
+    oids = itertools.cycle(range(10_000))
+    for oid in range(10_000):      # warm both cache layers
+        ech.locate(oid)
+
+    def place():
+        return ech.locate(next(oids))
+
+    result = benchmark(place)
+    assert len(result.servers) == 2
+
+
+def bench_locate_bulk(benchmark, ech):
+    """100k-object bulk placement through the slot table (the
+    whole-cluster-sweep primitive)."""
+    oids = np.arange(100_000, dtype=np.int64)
+    ech.locate_bulk(oids[:1])      # warm the table
+
+    def place():
+        return ech.locate_bulk(oids)
+
+    bulk = benchmark(place)
+    assert len(bulk) == 100_000 and bulk.all_ok
+
+
+def bench_locate_loop_10k(benchmark, ech):
+    """The same sweep as bench_locate_bulk, issued as a per-object
+    Python loop (10k objects; scale ×10 to compare against the 100k
+    bulk number)."""
+    oids = list(range(10_000))
+    for oid in oids:
+        ech.locate(oid)
+
+    def place():
+        return [ech.locate(oid) for oid in oids]
+
+    results = benchmark(place)
+    assert len(results) == 10_000
+
+
+def bench_trace_replay_throughput(benchmark):
+    """Trace-replay proxy: bulk-place a 100k-object catalog against
+    every version of a resize history — the dominant inner loop of the
+    CC-a/CC-b replays (fig8/fig9).  Throughput = placements/sec is
+    ``5 * 100_000 / median``."""
+    ech = ElasticConsistentHash(n=10, replicas=2, B=10_000)
+    for k in (8, 6, 9, 10):
+        ech.set_active(k)
+    oids = np.arange(100_000, dtype=np.int64)
+    versions = range(1, ech.current_version + 1)
+    for v in versions:             # warm every version's table
+        ech.locate_bulk(oids[:1], v)
+
+    def replay():
+        placed = 0
+        for v in versions:
+            placed += len(ech.locate_bulk(oids, v))
+        return placed
+
+    placed = benchmark(replay)
+    assert placed == 5 * 100_000
 
 
 def bench_dirty_table_insert(benchmark):

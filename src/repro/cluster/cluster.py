@@ -19,10 +19,14 @@ re-adding a server migrates everything the new layout maps onto it
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.elastic import ElasticConsistentHash
+from repro.core.kernel import BulkPlacement, PlacementKernel
 from repro.core.placement import ChainMode, PlacementResult, place_original
+from repro.hashring.hashing import bulk_hash
 from repro.core.reintegration import (
     MigrationTask,
     ReintegrationEngine,
@@ -170,6 +174,21 @@ class ElasticCluster(_ClusterBase):
         obj = self.catalog.get(oid)
         return obj.size if obj is not None else DEFAULT_OBJECT_SIZE
 
+    def catalog_placements(self, version: Optional[int] = None
+                           ) -> Tuple[list, List[Tuple[int, ...]]]:
+        """Every catalog object's placement under one version, placed
+        in bulk: ``(objects, target-server rows)`` aligned by index.
+        The whole-catalog sweeps (full re-integration, planning, fsck)
+        run on this instead of a scalar ``locate`` per object."""
+        objs = list(self.catalog)
+        if not objs:
+            return objs, []
+        bulk = self.ech.locate_bulk([o.oid for o in objs], version)
+        if not bulk.all_ok:
+            bad = int(np.flatnonzero(~bulk.ok)[0])
+            self.ech.locate(objs[bad].oid, version)   # raises with the oid
+        return objs, [tuple(row) for row in bulk.rows()]
+
     # ------------------------------------------------------------------
     # power / membership
     # ------------------------------------------------------------------
@@ -264,15 +283,18 @@ class ElasticCluster(_ClusterBase):
         moved = 0
         curr = self.ech.current_version
         active = self.ech.membership.active_ranks()
-        for oid, size in lost.items():
+        lost_oids = list(lost)
+        bulk = (self.ech.locate_bulk(lost_oids, curr)
+                if lost_oids else None)
+        for i, (oid, size) in enumerate(lost.items()):
             survivors = self.stored_locations(oid)
             if not survivors:
                 raise RuntimeError(
                     f"object {oid} lost every replica in the crash of "
                     f"rank {rank}")
-            try:
-                target = self.ech.locate(oid, curr).servers
-            except LookupError:
+            if bulk.ok[i]:
+                target = tuple(bulk.servers[i].tolist())
+            else:
                 # Fewer active servers than replicas: degraded mode —
                 # keep as many copies alive as there are servers.
                 target = tuple(active)
@@ -425,8 +447,8 @@ class ElasticCluster(_ClusterBase):
         full_span = OBS.spans.begin("reintegration.full",
                                     parent=self.reintegration_cycle,
                                     version=curr)
-        for obj in self.catalog:
-            target = self.ech.locate(obj.oid, curr).servers
+        objs, targets = self.catalog_placements(curr)
+        for obj, target in zip(objs, targets):
             if not any(r in self.unverified_ranks for r in target):
                 continue
             stored = set(self.stored_locations(obj.oid))
@@ -469,8 +491,8 @@ class ElasticCluster(_ClusterBase):
         moving it — used by the policy analyser."""
         curr = self.ech.current_version
         total = 0
-        for obj in self.catalog:
-            target = self.ech.locate(obj.oid, curr).servers
+        objs, targets = self.catalog_placements(curr)
+        for obj, target in zip(objs, targets):
             if not any(r in self.unverified_ranks for r in target):
                 continue
             stored = set(self.stored_locations(obj.oid))
@@ -494,8 +516,8 @@ class ElasticCluster(_ClusterBase):
         apply_relayout(self.ech, new_p)
         moved = 0
         curr = self.ech.current_version
-        for obj in self.catalog:
-            target = self.ech.locate(obj.oid, curr).servers
+        objs, targets = self.catalog_placements(curr)
+        for obj, target in zip(objs, targets):
             stored = set(self.stored_locations(obj.oid))
             to_add = [r for r in target if r not in stored]
             if to_add:
@@ -538,6 +560,10 @@ class OriginalCHCluster(_ClusterBase):
             self.ring.add_server(rank, weight=vnodes_per_server)
         self.rereplicated_bytes = 0
         self.migrated_bytes = 0
+        # Membership changes mutate the ring, so the ring's generation
+        # counter alone keeps this kernel's single table honest.
+        self._kernel = PlacementKernel(self.ring, replicas,
+                                       placement_mode="original")
 
     # ------------------------------------------------------------------
     @property
@@ -549,7 +575,28 @@ class OriginalCHCluster(_ClusterBase):
         return len(self.ring)
 
     def placement(self, oid: int) -> PlacementResult:
-        return place_original(self.ring, oid, self.replicas)
+        tbl = self._kernel.table(None, None)
+        try:
+            return tbl.lookup(self._kernel.slot_of(oid))
+        except LookupError as exc:
+            raise LookupError(f"{exc} (oid {oid!r})") from None
+
+    def placement_bulk(self, oids: Iterable[int]) -> BulkPlacement:
+        """Vectorised :meth:`placement` over a key collection."""
+        positions = bulk_hash(oids, self.ring.hash_method)
+        slots = self.ring.bulk_successor_slots(positions)
+        return self._kernel.table(None, None).gather(slots)
+
+    def catalog_placements(self) -> Tuple[list, List[Tuple[int, ...]]]:
+        """Bulk placement of the whole catalog: ``(objects, rows)``."""
+        objs = list(self.catalog)
+        if not objs:
+            return objs, []
+        bulk = self.placement_bulk([o.oid for o in objs])
+        if not bulk.all_ok:
+            bad = int(np.flatnonzero(~bulk.ok)[0])
+            self.placement(objs[bad].oid)   # raises with the oid
+        return objs, [tuple(row) for row in bulk.rows()]
 
     def write(self, oid: int, size: int = DEFAULT_OBJECT_SIZE
               ) -> PlacementResult:
@@ -582,9 +629,12 @@ class OriginalCHCluster(_ClusterBase):
         victims = list(self.servers[rank].replicas())
         self.ring.remove_server(rank)
         moved = 0
-        for oid in victims:
+        bulk = self.placement_bulk(victims) if victims else None
+        for i, oid in enumerate(victims):
             size = self.servers[rank].replica_size(oid)
-            target = self.placement(oid).servers
+            if not bulk.ok[i]:
+                self.placement(oid)   # raises with the oid
+            target = tuple(bulk.servers[i].tolist())
             for r in target:
                 if not self.servers[r].has_replica(oid):
                     self.servers[r].store_replica(oid, size)
@@ -610,8 +660,8 @@ class OriginalCHCluster(_ClusterBase):
         self.servers[rank].power_on()
         self.ring.add_server(rank, weight=self.vnodes_per_server)
         moved = 0
-        for obj in self.catalog:
-            target = self.placement(obj.oid).servers
+        objs, targets = self.catalog_placements()
+        for obj, target in zip(objs, targets):
             stored = set(self.stored_locations(obj.oid))
             for r in target:
                 if r not in stored:
@@ -634,8 +684,8 @@ class OriginalCHCluster(_ClusterBase):
         self.ring.add_server(rank, weight=self.vnodes_per_server)
         try:
             total = 0
-            for obj in self.catalog:
-                target = self.placement(obj.oid).servers
+            objs, targets = self.catalog_placements()
+            for obj, target in zip(objs, targets):
                 stored = set(self.stored_locations(obj.oid))
                 total += obj.size * sum(1 for r in target if r not in stored)
             return total

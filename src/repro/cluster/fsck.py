@@ -24,7 +24,7 @@ aid when extending the system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Set
 
 from repro.cluster.cluster import ElasticCluster
 
@@ -82,6 +82,24 @@ def check_cluster(cluster: ElasticCluster,
     ech = cluster.ech
     known = set()
 
+    # Pre-resolve every object's placement under its location version
+    # in bulk (one locate_bulk per distinct version) — audit 2 below
+    # reads from this map instead of a scalar locate per object.  A
+    # row the scalar path could not place (degraded membership) maps
+    # to None, which skips the audit exactly as the old except-branch
+    # did.
+    expected: Dict[int, Optional[Set[int]]] = {}
+    by_version: Dict[int, List[int]] = {}
+    for obj in cluster.catalog:
+        loc_ver = ech.location_version.get(obj.oid)
+        if loc_ver is not None:
+            by_version.setdefault(loc_ver, []).append(obj.oid)
+    for ver, oids in by_version.items():
+        bulk = ech.locate_bulk(oids, ver)
+        for i, oid in enumerate(oids):
+            expected[oid] = (set(bulk.servers[i].tolist())
+                             if bulk.ok[i] else None)
+
     for obj in cluster.catalog:
         known.add(obj.oid)
         report.objects_checked += 1
@@ -101,10 +119,7 @@ def check_cluster(cluster: ElasticCluster,
         # 2. placement agreement under the location version
         loc_ver = ech.location_version.get(obj.oid)
         if loc_ver is not None:
-            try:
-                expect = set(ech.locate(obj.oid, loc_ver).servers)
-            except LookupError:
-                expect = None   # degraded membership: skip this audit
+            expect = expected[obj.oid]
             if expect is not None and set(stored) != expect:
                 report.issues.append(FsckIssue(
                     "placement", obj.oid,

@@ -110,8 +110,8 @@ def full_reintegration_plan(cluster: ElasticCluster) -> MigrationPlan:
     genuinely lacks."""
     plan = MigrationPlan()
     curr = cluster.ech.current_version
-    for obj in cluster.catalog:
-        target = cluster.ech.locate(obj.oid, curr).servers
+    objs, targets = cluster.catalog_placements(curr)
+    for obj, target in zip(objs, targets):
         if not any(r in cluster.unverified_ranks for r in target):
             continue
         stored = set(cluster.stored_locations(obj.oid))
@@ -135,8 +135,8 @@ def addition_migration_plan(cluster: OriginalCHCluster,
         cluster.ring.add_server(rank, weight=cluster.vnodes_per_server)
     try:
         plan = MigrationPlan()
-        for obj in cluster.catalog:
-            target = cluster.placement(obj.oid).servers
+        objs, targets = cluster.catalog_placements()
+        for obj, target in zip(objs, targets):
             stored = set(cluster.stored_locations(obj.oid))
             dests = tuple(r for r in target if r not in stored)
             if dests:

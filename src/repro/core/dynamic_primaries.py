@@ -113,3 +113,7 @@ def apply_relayout(ech: ElasticConsistentHash, new_p: int) -> None:
     for rank in new_layout.ranks:
         ech.ring.set_weight(rank, new_layout.weight_of(rank))
     ech.layout = new_layout
+    # Roles changed even if no weight did (possible in uniform mode,
+    # where the ring generation would not advance): the memoized slot
+    # tables are placement-stale either way.
+    ech.invalidate_placement_cache()

@@ -24,7 +24,10 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.dirty_table import DirtyTable
+from repro.core.kernel import BulkPlacement, PlacementKernel
 from repro.core.layout import EqualWorkLayout
 from repro.core.placement import (
     ChainMode,
@@ -33,7 +36,7 @@ from repro.core.placement import (
     place_primary,
 )
 from repro.core.versioning import MembershipTable, VersionHistory
-from repro.hashring.hashing import HashFunction
+from repro.hashring.hashing import HashFunction, bulk_hash
 from repro.hashring.ring import HashRing
 from repro.kvstore.sharded import ShardedKVStore
 from repro.obs.runtime import OBS
@@ -112,6 +115,19 @@ class ElasticConsistentHash:
         self.ring = HashRing(hash_method)
         for rank in self.layout.ranks:
             self.ring.add_server(rank, weight=self.layout.weight_of(rank))
+
+        #: Slot-table placement kernel: memoizes the per-slot walk for
+        #: each membership version so a settled ``locate`` is a cache
+        #: hit and ``locate_bulk`` is pure array work.  ``kernel_enabled
+        #: = False`` forces every scalar locate down the reference walk
+        #: (equivalence tests; the bulk API always uses the kernel).
+        self.kernel_enabled = True
+        self._kernel = PlacementKernel(
+            self.ring, replicas,
+            placement_mode=placement_mode,
+            chain=chain,
+            is_primary=self.is_primary,
+        )
 
         self.history = VersionHistory(
             ranks=list(self.layout.ranks),
@@ -269,6 +285,20 @@ class ElasticConsistentHash:
                 version: Optional[int] = None) -> PlacementResult:
         table = (self.history.current if version is None
                  else self.history.get(version))
+        if not self.kernel_enabled:
+            return self._locate_reference(oid, table)
+        tbl = self._kernel.table(table.version, table.is_active)
+        slot = self._kernel.slot_of(oid)
+        try:
+            return tbl.lookup(slot)
+        except LookupError as exc:
+            raise LookupError(f"{exc} (oid {oid!r})") from None
+
+    def _locate_reference(self, oid: int,
+                          table: MembershipTable) -> PlacementResult:
+        """The original per-object ring walk, bypassing the slot
+        table — the oracle the kernel's equivalence suite compares
+        against."""
         if self.placement_mode == "original":
             return place_original(self.ring, oid, self.replicas,
                                   is_active=table.is_active)
@@ -278,6 +308,49 @@ class ElasticConsistentHash:
             is_active=table.is_active,
             chain=self.chain,
         )
+
+    def locate_bulk(self, oids: Iterable[int],
+                    version: Optional[int] = None) -> BulkPlacement:
+        """Vectorised :meth:`locate` over a whole key collection.
+
+        Hashes all keys (``bulk_hash``), resolves successor slots in
+        one ``searchsorted``, and gathers placements from the slot
+        table — per-object Python work only for slots never seen
+        before.  Returns compact arrays; see
+        :class:`~repro.core.kernel.BulkPlacement`.
+        """
+        return self.locate_bulk_positions(
+            bulk_hash(oids, self.ring.hash_method), version)
+
+    def locate_bulk_positions(self, positions: np.ndarray,
+                              version: Optional[int] = None
+                              ) -> BulkPlacement:
+        """Bulk placement for pre-hashed ring *positions* (callers that
+        cache hashes, e.g. repeated sweeps over a fixed catalog)."""
+        table = (self.history.current if version is None
+                 else self.history.get(version))
+        if OBS.hot:
+            t0 = perf_counter()
+            result = self._locate_bulk_positions(positions, table)
+            OBS.metrics.observe("perf.core.locate_bulk",
+                                perf_counter() - t0)
+            OBS.metrics.inc("core.locates", len(result))
+            return result
+        return self._locate_bulk_positions(positions, table)
+
+    def _locate_bulk_positions(self, positions: np.ndarray,
+                               table: MembershipTable) -> BulkPlacement:
+        slots = self.ring.bulk_successor_slots(
+            np.asarray(positions, dtype=np.uint64))
+        tbl = self._kernel.table(table.version, table.is_active)
+        return tbl.gather(slots)
+
+    def invalidate_placement_cache(self) -> None:
+        """Drop every memoized slot table.  Required only after
+        mutations the ring cannot see — a re-layout that changes roles
+        without changing weights (uniform mode); ring weight changes
+        self-invalidate via the generation counter."""
+        self._kernel.invalidate()
 
     def record_write(self, oid: int) -> PlacementResult:
         """Place *oid* for a write in the current version and perform
@@ -321,16 +394,30 @@ class ElasticConsistentHash:
                       version: Optional[int] = None
                       ) -> Dict[int, Tuple[int, ...]]:
         """Bulk ``{oid: servers}`` under one version."""
-        return {oid: self.locate(oid, version).servers for oid in oids}
+        oid_list = list(oids)
+        bulk = self.locate_bulk(oid_list, version)
+        if not bulk.all_ok:
+            bad = int(np.flatnonzero(~bulk.ok)[0])
+            self.locate(oid_list[bad], version)   # raises with the oid
+        rows = bulk.rows()
+        return {oid: tuple(row) for oid, row in zip(oid_list, rows)}
 
     def blocks_per_rank(self, oids: Iterable[int],
                         version: Optional[int] = None) -> Dict[int, int]:
         """Replica count per rank for a set of objects — the y-axis of
         Figure 5."""
+        oid_list = list(oids)
         counts: Dict[int, int] = {r: 0 for r in self.layout.ranks}
-        for oid in oids:
-            for sid in self.locate(oid, version).servers:
-                counts[sid] += 1
+        if not oid_list:
+            return counts
+        bulk = self.locate_bulk(oid_list, version)
+        if not bulk.all_ok:
+            bad = int(np.flatnonzero(~bulk.ok)[0])
+            self.locate(oid_list[bad], version)   # raises with the oid
+        per_rank = np.bincount(bulk.servers.ravel(),
+                               minlength=max(self.layout.ranks) + 1)
+        for r in counts:
+            counts[r] = int(per_rank[r])
         return counts
 
     def describe(self) -> str:

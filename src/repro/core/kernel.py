@@ -1,0 +1,329 @@
+"""The slot-table placement kernel: memoized per-version placement and
+vectorised bulk locate.
+
+The whole-cluster sweeps that dominate the paper's evaluation — resize
+planning, Algorithm 2 re-integration scans, fsck, distribution
+analysis, trace replay — all re-evaluate Algorithm 1 for every object.
+But for a *fixed* membership version the placement of a key depends
+only on its successor slot (the first vnode at or after ``hash(key)``):
+every key landing in the same arc walks the identical server sequence.
+There are only V vnode slots, so the placement of an entire version is
+a table of V rows, computed lazily by running the existing reference
+walk once per slot.
+
+Two access paths share the table:
+
+* scalar ``lookup(slot)`` — one dict/array access once the slot is
+  filled; the :class:`~repro.core.elastic.ElasticConsistentHash` facade
+  adds an oid→slot cache on top, so a repeated ``locate`` never touches
+  the ring again;
+* vectorised ``gather(slots)`` — fill the missing slots, then one
+  fancy-index produces a compact :class:`BulkPlacement` (server-index
+  matrix plus degraded / offloaded bitmasks) for a whole key array.
+
+Invalidation rules
+------------------
+* **Ring membership** (``add_server`` / ``remove_server`` /
+  ``set_weight``, e.g. a dynamic-primary re-layout) renumbers the vnode
+  slots: the ring's ``generation`` counter advances and the kernel
+  drops *every* table on the next access.
+* **Resizes** (``set_active`` and friends) never mutate the ring — the
+  elastic design's point — so existing tables stay valid; the new
+  version simply keys a new table.  Membership tables are immutable,
+  which is what makes per-version memoization sound.
+* Role changes without a weight change (possible under the *uniform*
+  layout) are covered by an explicit :meth:`PlacementKernel.invalidate`
+  hook called by the re-layout path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.placement import (
+    ChainMode,
+    PlacementResult,
+    place_original_from_slot,
+    place_primary_from_slot,
+)
+from repro.hashring.ring import HashRing
+from repro.obs.runtime import OBS
+
+__all__ = ["BulkPlacement", "SlotPlacementTable", "PlacementKernel"]
+
+Predicate = Callable[[Hashable], bool]
+
+_FILLED = np.uint8(1)
+_DEGRADED = np.uint8(2)
+_SKIPPED = np.uint8(4)
+_ERROR = np.uint8(8)
+
+#: Cap on the facade-level oid→slot cache (see :class:`PlacementKernel`).
+_SLOT_CACHE_MAX = 1 << 20
+
+#: Sentinel for "no table cached yet" (``None`` is a legal version key).
+_NO_KEY = object()
+
+
+@dataclass(frozen=True)
+class BulkPlacement:
+    """Placements of N keys as compact arrays (no per-object objects).
+
+    Attributes
+    ----------
+    servers:
+        ``(N, r)`` integer array of server ids in replica order; rows
+        of ``-1`` where the key was not placeable (see :attr:`ok`).
+    degraded:
+        ``(N,)`` bool — the §III-B special case fired for this key.
+    skipped_inactive:
+        ``(N,)`` bool — an inactive server was walked past (the write
+        would be *offloaded* and dirty-tracked).
+    ok:
+        ``(N,)`` bool — False where the scalar path would have raised
+        ``LookupError`` (fewer than r eligible servers).
+    """
+
+    servers: np.ndarray
+    degraded: np.ndarray
+    skipped_inactive: np.ndarray
+    ok: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.servers.shape[0])
+
+    @property
+    def all_ok(self) -> bool:
+        return bool(self.ok.all())
+
+    def rows(self) -> List[List[int]]:
+        """Server rows as plain Python ints (cheap C-level conversion)."""
+        return self.servers.tolist()
+
+    def result(self, i: int) -> PlacementResult:
+        """Row *i* re-materialised as a :class:`PlacementResult`."""
+        if not self.ok[i]:
+            raise LookupError(f"key at index {i} not placeable")
+        return PlacementResult(
+            tuple(self.servers[i].tolist()),
+            degraded=bool(self.degraded[i]),
+            skipped_inactive=bool(self.skipped_inactive[i]),
+        )
+
+
+class SlotPlacementTable:
+    """Per-slot placements for one (membership version, chain, r).
+
+    Rows fill lazily: the first lookup of a slot runs the reference
+    walk (``place_*_from_slot``) and caches both the frozen
+    :class:`PlacementResult` (scalar path) and its array row (bulk
+    path).  A slot whose walk raises ``LookupError`` caches the error
+    message instead, so the failure is as cheap — and as deterministic
+    — as a success.
+    """
+
+    def __init__(self, ring: HashRing,
+                 compute: Callable[[int], PlacementResult],
+                 r: int) -> None:
+        ring._rebuild_if_dirty()
+        self._ring = ring
+        self._compute = compute
+        self._r = r
+        nslots = ring._positions.size
+        self._servers = np.full((nslots, r), -1, dtype=np.intp)
+        self._flags = np.zeros(nslots, dtype=np.uint8)
+        #: Per-slot cache: PlacementResult | str (error message) | None.
+        self._results: List[Union[PlacementResult, str, None]] = \
+            [None] * nslots
+        self._sid_index: Dict[Hashable, int] = {
+            sid: i for i, sid in enumerate(ring._server_list)}
+        self._server_ids = np.asarray(ring._server_list)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        return len(self._results)
+
+    @property
+    def filled_slots(self) -> int:
+        """Slots computed so far (tests + capacity accounting)."""
+        return int(np.count_nonzero(self._flags & _FILLED))
+
+    # ------------------------------------------------------------------
+    def _fill_slot(self, slot: int) -> Union[PlacementResult, str]:
+        try:
+            res = self._compute(slot)
+        except LookupError as exc:
+            self._flags[slot] = _FILLED | _ERROR
+            msg = str(exc)
+            self._results[slot] = msg
+            return msg
+        flags = _FILLED
+        if res.degraded:
+            flags |= _DEGRADED
+        if res.skipped_inactive:
+            flags |= _SKIPPED
+        self._servers[slot] = [self._sid_index[s] for s in res.servers]
+        self._flags[slot] = flags
+        self._results[slot] = res
+        return res
+
+    def lookup(self, slot: int) -> PlacementResult:
+        """Placement of one slot (raising ``LookupError`` exactly where
+        the reference walk would)."""
+        res = self._results[slot]
+        if res is None:
+            res = self._fill_slot(slot)
+        elif OBS.hot:
+            OBS.metrics.inc("ring.table_hits")
+        if type(res) is str:
+            raise LookupError(res)
+        return res
+
+    def fill(self, slots: np.ndarray) -> int:
+        """Ensure every slot in *slots* is computed; returns how many
+        were already filled (table-hit accounting for the bulk path)."""
+        filled = self._flags[slots] & _FILLED
+        hits = int(np.count_nonzero(filled))
+        if hits < slots.size:
+            for slot in np.unique(slots[filled == 0]):
+                self._fill_slot(int(slot))
+        return hits
+
+    def gather(self, slots: np.ndarray) -> BulkPlacement:
+        """Vectorised placement of a slot array."""
+        hits = self.fill(slots)
+        if OBS.hot and hits:
+            OBS.metrics.inc("ring.table_hits", hits)
+        idx = self._servers[slots]
+        flags = self._flags[slots]
+        ok = (flags & _ERROR) == 0
+        ids = self._server_ids[np.clip(idx, 0, None)]
+        if ids.dtype.kind in "iu":
+            ids = ids.copy()
+            ids[idx < 0] = -1
+        return BulkPlacement(
+            servers=ids,
+            degraded=(flags & _DEGRADED) != 0,
+            skipped_inactive=(flags & _SKIPPED) != 0,
+            ok=ok,
+        )
+
+
+class PlacementKernel:
+    """Slot tables for every membership version of one ring, plus an
+    oid→slot cache for the scalar hot path.
+
+    Tables are keyed by the caller's version key (``None`` for an
+    unversioned ring, e.g. the original-CH baseline) and kept in a
+    small LRU — trace replays can touch hundreds of versions but only
+    the recent few stay hot.  All state is dropped when the ring's
+    membership generation advances.
+    """
+
+    def __init__(
+        self,
+        ring: HashRing,
+        replicas: int,
+        placement_mode: str = "primary",
+        chain: ChainMode = "walk",
+        is_primary: Optional[Predicate] = None,
+        max_tables: int = 16,
+    ) -> None:
+        if placement_mode not in ("primary", "original"):
+            raise ValueError(f"unknown placement_mode: {placement_mode!r}")
+        if placement_mode == "primary" and is_primary is None:
+            raise ValueError("primary placement needs an is_primary oracle")
+        self._ring = ring
+        self._replicas = replicas
+        self._mode = placement_mode
+        self._chain: ChainMode = chain
+        self._is_primary = is_primary
+        self._max_tables = max_tables
+        self._tables: "OrderedDict[Hashable, SlotPlacementTable]" = \
+            OrderedDict()
+        self._slot_cache: Dict[Hashable, int] = {}
+        self._generation = ring.generation
+        # One-entry fast path over the LRU: repeated locates against a
+        # settled version skip the OrderedDict bookkeeping entirely.
+        self._last_key: Hashable = _NO_KEY
+        self._last_tbl: Optional[SlotPlacementTable] = None
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every memoized table (role/layout change hook)."""
+        self._tables.clear()
+        self._slot_cache.clear()
+        self._last_key = _NO_KEY
+        self._last_tbl = None
+        self._generation = self._ring.generation
+
+    def _check_generation(self) -> None:
+        if self._ring.generation != self._generation:
+            self.invalidate()
+
+    @property
+    def cached_tables(self) -> Tuple[Hashable, ...]:
+        """Version keys currently memoized (oldest first) — for tests
+        and capacity introspection."""
+        return tuple(self._tables)
+
+    # ------------------------------------------------------------------
+    def table(self, key: Hashable,
+              is_active: Optional[Predicate]) -> SlotPlacementTable:
+        """The (lazily created) slot table for one membership *key*.
+
+        *is_active* must be the pure membership predicate belonging to
+        *key*; it is captured at table creation, which is sound because
+        membership tables are immutable.
+        """
+        if (key == self._last_key
+                and self._ring.generation == self._generation):
+            # Already the most-recent LRU entry: no move_to_end needed.
+            return self._last_tbl  # type: ignore[return-value]
+        self._check_generation()
+        tbl = self._tables.get(key)
+        if tbl is None:
+            ring, r = self._ring, self._replicas
+            if self._mode == "original":
+                def compute(slot: int,
+                            _act: Optional[Predicate] = is_active
+                            ) -> PlacementResult:
+                    return place_original_from_slot(ring, slot, r, _act)
+            else:
+                is_primary, chain = self._is_primary, self._chain
+
+                def compute(slot: int,
+                            _act: Optional[Predicate] = is_active
+                            ) -> PlacementResult:
+                    return place_primary_from_slot(
+                        ring, slot, r, is_primary, _act, chain)
+
+            tbl = SlotPlacementTable(ring, compute, r)
+            self._tables[key] = tbl
+            if len(self._tables) > self._max_tables:
+                self._tables.popitem(last=False)
+        else:
+            self._tables.move_to_end(key)
+        self._last_key, self._last_tbl = key, tbl
+        return tbl
+
+    # ------------------------------------------------------------------
+    def slot_of(self, oid: Hashable) -> int:
+        """Successor slot of *oid*, memoized per ring generation.
+
+        The cache is what turns a repeated scalar ``locate`` into two
+        dict hits: oid→slot here, slot→result in the table.
+        """
+        slot = self._slot_cache.get(oid)
+        if slot is None:
+            self._check_generation()
+            slot = self._ring.successor_slot(self._ring.key_position(oid))
+            if len(self._slot_cache) >= _SLOT_CACHE_MAX:
+                self._slot_cache.clear()
+            self._slot_cache[oid] = slot
+        return slot

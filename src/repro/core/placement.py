@@ -39,7 +39,8 @@ from repro.hashring.hashing import hash64
 from repro.hashring.ring import HashRing
 from repro.obs.runtime import OBS
 
-__all__ = ["ChainMode", "PlacementResult", "place_original", "place_primary"]
+__all__ = ["ChainMode", "PlacementResult", "place_original", "place_primary",
+           "place_original_from_slot", "place_primary_from_slot"]
 
 ChainMode = Literal["walk", "rehash"]
 
@@ -111,11 +112,47 @@ def _place_original(
     r: int,
     is_active: Optional[Predicate] = None,
 ) -> PlacementResult:
+    ring._rebuild_if_dirty()
+    if ring._positions.size == 0:
+        raise LookupError("ring is empty")
+    slot = ring.successor_slot(ring.key_position(oid))
+    try:
+        return place_original_from_slot(ring, slot, r, is_active)
+    except LookupError as exc:
+        raise LookupError(f"{exc} (oid {oid!r})") from None
+
+
+def place_original_from_slot(
+    ring: HashRing,
+    slot: int,
+    r: int,
+    is_active: Optional[Predicate] = None,
+) -> PlacementResult:
+    """Original placement anchored at a vnode *slot* rather than a key.
+
+    For a fixed membership this is the whole story of a key's
+    placement: every key sharing a successor slot walks the identical
+    server sequence, which is what lets the placement kernel
+    (:mod:`repro.core.kernel`) compute each slot once and serve every
+    key from the table.
+    """
     if r < 1:
         raise ValueError("replica count must be >= 1")
+    ring._rebuild_if_dirty()
+    n = ring._positions.size
+    if n == 0:
+        raise LookupError("ring is empty")
+    owners = ring._owners
+    slist = ring._server_list
     servers: List[Hashable] = []
+    seen: set = set()
     skipped = False
-    for sid in ring.walk_servers(ring.key_position(oid)):
+    for step in range(n):
+        oidx = owners[(slot + step) % n]
+        if oidx in seen:
+            continue
+        seen.add(oidx)
+        sid = slist[oidx]
         if is_active is not None and not is_active(sid):
             skipped = True
             continue
@@ -123,7 +160,7 @@ def _place_original(
         if len(servers) == r:
             return PlacementResult(tuple(servers), skipped_inactive=skipped)
     raise LookupError(
-        f"only {len(servers)} of {r} replicas placeable for {oid!r}"
+        f"only {len(servers)} of {r} replicas placeable"
     )
 
 
@@ -135,13 +172,13 @@ class _RingWalker:
     with arbitrary predicates.
     """
 
-    def __init__(self, ring: HashRing, position: int) -> None:
+    def __init__(self, ring: HashRing, slot: int) -> None:
         self._ring = ring
         ring._rebuild_if_dirty()
         self._n = ring._positions.size
         if self._n == 0:
             raise LookupError("ring is empty")
-        self._slot = ring.successor_slot(position)
+        self._slot = slot
 
     def restart_at(self, position: int) -> None:
         self._slot = self._ring.successor_slot(position)
@@ -220,6 +257,31 @@ def _place_primary(
     is_active: Predicate,
     chain: ChainMode = "walk",
 ) -> PlacementResult:
+    ring._rebuild_if_dirty()
+    if ring._positions.size == 0:
+        raise LookupError("ring is empty")
+    slot = ring.successor_slot(ring.key_position(oid))
+    try:
+        return place_primary_from_slot(ring, slot, r, is_primary,
+                                       is_active, chain)
+    except LookupError as exc:
+        raise LookupError(f"{exc} (oid {oid!r})") from None
+
+
+def place_primary_from_slot(
+    ring: HashRing,
+    slot: int,
+    r: int,
+    is_primary: Predicate,
+    is_active: Predicate,
+    chain: ChainMode = "walk",
+) -> PlacementResult:
+    """Algorithm 1 anchored at a vnode *slot* rather than a key hash.
+
+    The walk (both chain modes) depends only on the starting slot and
+    the cluster state — never on the key itself — so this is the unit
+    the placement kernel memoizes per ``(version, chain, r)``.
+    """
     if r < 1:
         raise ValueError("replica count must be >= 1")
 
@@ -242,7 +304,7 @@ def _place_primary(
     def is_secondary(sid: Hashable) -> bool:
         return not is_primary(sid)
 
-    walker = _RingWalker(ring, ring.key_position(oid))
+    walker = _RingWalker(ring, slot)
 
     def select(role_pred: Optional[Predicate]) -> Optional[Hashable]:
         """One replica: role-constrained search, falling back to the
@@ -273,7 +335,7 @@ def _place_primary(
         # primary" copy.
         sid = select(is_primary)
         if sid is None:
-            raise LookupError(f"no active server for {oid!r}")
+            raise LookupError("no active server")
         selected.append(sid)
         return PlacementResult(tuple(selected), degraded=degraded,
                                skipped_inactive=skipped_inactive[0])
@@ -281,7 +343,7 @@ def _place_primary(
     # First replica: next active server, any role (Algorithm 1 line 2).
     sid = select(None)
     if sid is None:
-        raise LookupError(f"no active server for {oid!r}")
+        raise LookupError("no active server")
     selected.append(sid)
 
     # Replicas 2 .. r-1 (lines 3-9).
@@ -291,7 +353,7 @@ def _place_primary(
         sid = select(role)
         if sid is None:
             raise LookupError(
-                f"only {len(selected)} of {r} replicas placeable for {oid!r}")
+                f"only {len(selected)} of {r} replicas placeable")
         selected.append(sid)
 
     # Last replica (lines 10-15): enforce the one-primary invariant.
@@ -300,7 +362,7 @@ def _place_primary(
     sid = select(role)
     if sid is None:
         raise LookupError(
-            f"only {len(selected)} of {r} replicas placeable for {oid!r}")
+            f"only {len(selected)} of {r} replicas placeable")
     selected.append(sid)
 
     return PlacementResult(tuple(selected), degraded=degraded,

@@ -40,7 +40,7 @@ from repro.simulation.flows import FluidFlow
 from repro.simulation.iomodel import (
     IOModel,
     client_coefficients,
-    replica_load_fractions,
+    replica_load_fractions_from_matrix,
 )
 from repro.workloads.three_phase import Phase, three_phase_workload
 
@@ -147,12 +147,12 @@ def run_three_phase(
     def fractions() -> Dict[int, float]:
         key = tuple(sorted(active_ranks()))
         if key not in frac_cache:
+            probe = range(10_000_000, 10_000_000 + probe_objects)
             if elastic_mode:
-                locate = lambda oid: cluster.ech.locate(oid).servers
+                matrix = cluster.ech.locate_bulk(probe).servers
             else:
-                locate = lambda oid: cluster.placement(oid).servers
-            frac_cache[key] = replica_load_fractions(
-                locate, range(10_000_000, 10_000_000 + probe_objects))
+                matrix = cluster.placement_bulk(probe).servers
+            frac_cache[key] = replica_load_fractions_from_matrix(matrix)
         return frac_cache[key]
 
     io = IOModel(capacities, dt=dt)

@@ -156,9 +156,61 @@ def splitmix64_array(h: np.ndarray) -> np.ndarray:
     return h
 
 
+def _bulk_fnv1a_uint64(vals: np.ndarray) -> np.ndarray:
+    """Vectorised FNV-1a over the decimal encoding of non-negative
+    integers — bit-identical to ``hash64(int(v))`` for every element.
+
+    FNV-1a is a sequential byte fold, so it cannot be vectorised across
+    byte *positions*; it can across *keys*: group values by decimal
+    length and fold digit-by-digit over each group (at most 20 passes
+    of whole-array NumPy ops instead of one Python loop per key).
+    """
+    out = np.empty(vals.shape, dtype=np.uint64)
+    offset = np.uint64(_FNV_OFFSET)
+    prime = np.uint64(_FNV_PRIME)
+    with np.errstate(over="ignore"):
+        lo = np.uint64(0)
+        for ndigits in range(1, 21):
+            hi = np.uint64(10 ** ndigits) if ndigits < 20 else None
+            mask = (vals >= lo) if hi is None else (vals >= lo) & (vals < hi)
+            if ndigits == 1:
+                mask |= vals == 0
+            lo = hi if hi is not None else lo
+            if not mask.any():
+                continue
+            group = vals[mask]
+            h = np.full(group.shape, offset, dtype=np.uint64)
+            for j in range(ndigits - 1, -1, -1):
+                digit = (group // np.uint64(10) ** np.uint64(j)) % np.uint64(10)
+                h ^= digit + np.uint64(48)   # ord('0')
+                h *= prime
+            out[mask] = h
+    return splitmix64_array(out)
+
+
 def bulk_hash(keys: Iterable[Key], method: HashFunction = "fnv1a") -> np.ndarray:
     """Hash an iterable of keys into a ``uint64`` array (bulk helper for
-    vectorised placement and distribution analysis)."""
+    vectorised placement and distribution analysis).
+
+    Non-negative integer inputs (``range``, integer ndarrays) take a
+    fully vectorised path — the enabler for ``locate_bulk`` placing
+    100k-object sweeps without a per-key Python hash; anything else
+    falls back to the scalar :func:`hash64` loop.  Both paths produce
+    identical values.
+    """
+    if method == "fnv1a":
+        arr = None
+        if isinstance(keys, np.ndarray) and keys.dtype.kind in "iu":
+            arr = keys
+        elif isinstance(keys, range):
+            arr = np.arange(keys.start, keys.stop, keys.step, dtype=np.int64) \
+                if len(keys) else np.empty(0, dtype=np.int64)
+        if arr is not None:
+            if arr.size == 0:
+                return np.empty(0, dtype=np.uint64)
+            if arr.dtype.kind == "u" or int(arr.min()) >= 0:
+                return _bulk_fnv1a_uint64(arr.astype(np.uint64, copy=False))
+            keys = (int(k) for k in arr)   # negatives: scalar fallback
     return np.fromiter(
         (hash64(k, method) for k in keys), dtype=np.uint64, count=-1
     )

@@ -64,6 +64,7 @@ class HashRing:
         self._vnode_idx = np.empty(0, dtype=np.intp)
         self._server_list: List[ServerId] = []
         self._dirty = False
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -79,7 +80,7 @@ class HashRing:
         if weight < 1:
             raise ValueError("weight must be >= 1")
         self._weights[server_id] = int(weight)
-        self._dirty = True
+        self._mark_dirty()
 
     def remove_server(self, server_id: ServerId) -> None:
         """Remove *server_id* and all its virtual nodes.
@@ -92,7 +93,7 @@ class HashRing:
             del self._weights[server_id]
         except KeyError:
             raise KeyError(f"server not on ring: {server_id!r}") from None
-        self._dirty = True
+        self._mark_dirty()
 
     def set_weight(self, server_id: ServerId, weight: int) -> None:
         """Change the vnode count of an existing server."""
@@ -102,7 +103,22 @@ class HashRing:
             raise ValueError("weight must be >= 1")
         if self._weights[server_id] != weight:
             self._weights[server_id] = int(weight)
-            self._dirty = True
+            self._mark_dirty()
+
+    def _mark_dirty(self) -> None:
+        """Membership changed: schedule an array rebuild and advance the
+        generation so slot-table caches keyed on the old vnode layout
+        (see :mod:`repro.core.kernel`) know to drop themselves."""
+        self._dirty = True
+        self._generation += 1
+
+    @property
+    def generation(self) -> int:
+        """Monotonic membership-change counter.  Two calls returning the
+        same value guarantee the vnode arrays (and therefore slot
+        numbering) are identical — the invalidation key for memoized
+        placement tables."""
+        return self._generation
 
     def weight_of(self, server_id: ServerId) -> int:
         return self._weights[server_id]
@@ -173,15 +189,19 @@ class HashRing:
         self._rebuild_if_dirty()
         if self._positions.size == 0:
             raise LookupError("ring is empty")
+        # ndarray-method searchsorted: skips the np.searchsorted
+        # dispatch wrapper, which is measurable at per-IO call rates.
+        # The np.uint64 wrap is load-bearing — a raw int needle would
+        # upcast the uint64 comparison to float64 and lose precision.
         if OBS.hot:   # per-lookup profiling (--stats / perf runs)
             t0 = perf_counter()
-            slot = int(np.searchsorted(self._positions, np.uint64(position),
-                                       side="left"))
+            slot = int(self._positions.searchsorted(np.uint64(position),
+                                                    side="left"))
             OBS.metrics.observe("perf.ring.successor", perf_counter() - t0)
             OBS.metrics.inc("ring.lookups")
             return slot % self._positions.size
-        slot = int(np.searchsorted(self._positions, np.uint64(position),
-                                   side="left"))
+        slot = int(self._positions.searchsorted(np.uint64(position),
+                                                side="left"))
         return slot % self._positions.size
 
     def successor(self, key: Hashable) -> ServerId:
@@ -250,6 +270,30 @@ class HashRing:
     # ------------------------------------------------------------------
     # bulk / analysis helpers
     # ------------------------------------------------------------------
+    def bulk_successor_slots(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised successor-*slot* lookup: the slot index of the
+        first vnode at or after each position, wrapping at the top.
+
+        This is the entry point of the memoized placement kernel
+        (:mod:`repro.core.kernel`): a whole key array reduces to one
+        ``searchsorted`` and the per-slot placement table does the rest.
+        """
+        self._rebuild_if_dirty()
+        if self._positions.size == 0:
+            raise LookupError("ring is empty")
+        if OBS.hot:
+            t0 = perf_counter()
+            slots = np.searchsorted(self._positions, positions, side="left")
+            slots %= self._positions.size
+            OBS.metrics.observe("perf.ring.bulk_successor",
+                                perf_counter() - t0)
+            OBS.metrics.inc("ring.lookups", int(positions.size))
+            OBS.metrics.inc("ring.bulk_keys", int(positions.size))
+            return slots
+        slots = np.searchsorted(self._positions, positions, side="left")
+        slots %= self._positions.size
+        return slots
+
     def bulk_successor(self, positions: np.ndarray) -> np.ndarray:
         """Vectorised first-successor lookup.
 
@@ -263,20 +307,10 @@ class HashRing:
         numpy.ndarray
             ``intp`` array of server indices (into :attr:`servers`).
         """
-        self._rebuild_if_dirty()
-        if self._positions.size == 0:
-            raise LookupError("ring is empty")
-        if OBS.hot:
-            t0 = perf_counter()
-            slots = np.searchsorted(self._positions, positions, side="left")
-            slots %= self._positions.size
-            owners = self._owners[slots]
-            OBS.metrics.observe("perf.ring.bulk_successor",
-                                perf_counter() - t0)
-            OBS.metrics.inc("ring.bulk_keys", int(positions.size))
-            return owners
-        slots = np.searchsorted(self._positions, positions, side="left")
-        slots %= self._positions.size
+        # Resolve slots first: it rebuilds a dirty ring, and the
+        # rebuild rebinds ``_owners`` (reading the attribute before the
+        # call would index the stale pre-rebuild array).
+        slots = self.bulk_successor_slots(positions)
         return self._owners[slots]
 
     def arc_share(self) -> Dict[ServerId, float]:
@@ -293,11 +327,12 @@ class HashRing:
         arcs = pos - prev
         arcs[0] = pos[0] + (2.0**64 - prev[0])
         total = arcs.sum()
-        share: Dict[ServerId, float] = {sid: 0.0 for sid in self._server_list}
-        for owner_idx in range(len(self._server_list)):
-            mask = self._owners == owner_idx
-            share[self._server_list[owner_idx]] = float(arcs[mask].sum() / total)
-        return share
+        # One weighted bincount instead of a boolean-mask pass per
+        # server (the old way was O(V·n)).
+        sums = np.bincount(self._owners, weights=arcs,
+                           minlength=len(self._server_list))
+        return {sid: float(sums[idx] / total)
+                for idx, sid in enumerate(self._server_list)}
 
     def view(self, predicate: Callable[[ServerId], bool]) -> "RingView":
         """A filtered view of the ring (see :class:`RingView`)."""

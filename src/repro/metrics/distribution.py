@@ -12,7 +12,20 @@ from typing import Dict, Mapping, Sequence
 import numpy as np
 
 __all__ = ["normalized_shape", "gini", "distribution_stats",
-           "shape_correlation", "equal_work_reference"]
+           "shape_correlation", "equal_work_reference",
+           "replica_counts_from_matrix"]
+
+
+def replica_counts_from_matrix(servers: np.ndarray,
+                               ranks: Sequence[int]) -> Dict[int, int]:
+    """Per-rank replica counts from a bulk placement's ``(N, r)``
+    server matrix (``BulkPlacement.servers``) — one ``bincount``
+    instead of N·r dict increments.  Unplaceable rows (``-1``) are
+    ignored."""
+    flat = np.asarray(servers).ravel()
+    flat = flat[flat >= 0]
+    per_rank = np.bincount(flat, minlength=(max(ranks) + 1) if ranks else 0)
+    return {int(r): int(per_rank[r]) for r in ranks}
 
 
 def normalized_shape(counts: Mapping[int, float]) -> Dict[int, float]:

@@ -35,14 +35,19 @@ def holder_groups(ech: ElasticConsistentHash,
     evaluated at full power — the data layout — and then filtered to
     the active set, mirroring reads against a shrunken cluster.
     """
+    oid_list = list(probe_oids)
+    total = len(oid_list)
+    if not oid_list:
+        return {}, 0, 0
+    bulk = ech.locate_bulk(oid_list, version=1)
+    if not bulk.all_ok:
+        import numpy as np
+        bad = int(np.flatnonzero(~bulk.ok)[0])
+        ech.locate(oid_list[bad], version=1)   # raises with the oid
     groups: Counter = Counter()
-    total = 0
     unavailable = 0
-    for oid in probe_oids:
-        total += 1
-        holders = frozenset(
-            s for s in ech.locate(oid, version=1).servers
-            if s in active_ranks)
+    for row in bulk.rows():
+        holders = frozenset(s for s in row if s in active_ranks)
         if holders:
             groups[holders] += 1
         else:

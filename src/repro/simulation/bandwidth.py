@@ -89,6 +89,31 @@ def max_min_fair(flows: Sequence[FlowSpec],
             if res in remaining and remaining[res] == 0.0:
                 frozen[i] = True
 
+    # Per-resource live load (Σ coefficients over unfrozen flows) and
+    # live-user count, maintained incrementally: a freeze subtracts the
+    # flow's coefficients instead of re-summing every filling round
+    # (that re-sum was O(F·R) per round).  The counter pins the load to
+    # an exact 0.0 when a resource loses its last user, so subtraction
+    # residue can never fabricate a tiny phantom load.
+    live_load: Dict[Resource, float] = {res: 0.0 for res in remaining}
+    live_users: Dict[Resource, int] = {res: 0 for res in remaining}
+    for i, f in enumerate(flows):
+        if frozen[i]:
+            continue
+        for res, coef in f.coefficients.items():
+            if res in live_load:
+                live_load[res] += coef
+                live_users[res] += 1
+
+    def retire(i: int) -> None:
+        for res, coef in flows[i].coefficients.items():
+            if res in live_load:
+                live_users[res] -= 1
+                if live_users[res] == 0:
+                    live_load[res] = 0.0
+                else:
+                    live_load[res] -= coef
+
     rounds = 0
     for _round in range(n + len(remaining) + 1):
         live = [i for i in range(n) if not frozen[i]]
@@ -99,8 +124,7 @@ def max_min_fair(flows: Sequence[FlowSpec],
         # Fastest-saturating resource under equal rate growth.
         step_res: Optional[float] = None
         for res, cap_left in remaining.items():
-            load_per_unit = sum(
-                flows[i].coefficients.get(res, 0.0) for i in live)
+            load_per_unit = live_load[res]
             if load_per_unit > 0:
                 s = cap_left / load_per_unit
                 if step_res is None or s < step_res:
@@ -133,14 +157,16 @@ def max_min_fair(flows: Sequence[FlowSpec],
             if remaining[res] < 1e-9:
                 remaining[res] = 0.0
 
-        # Freeze.
+        # Freeze (and retire frozen flows from the live loads).
         for i in live:
             if rates[i] >= flows[i].demand - 1e-12:
                 frozen[i] = True
+                retire(i)
                 continue
             for res, coef in flows[i].coefficients.items():
                 if res in remaining and remaining[res] == 0.0:
                     frozen[i] = True
+                    retire(i)
                     break
     OBS.metrics.inc("bandwidth.solves")
     OBS.metrics.inc("bandwidth.filling_rounds", rounds)

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
 
+import numpy as np
+
 from repro.obs.runtime import OBS
 from repro.simulation.flows import FlowSet
 
-__all__ = ["IOModel", "replica_load_fractions", "client_coefficients"]
+__all__ = ["IOModel", "replica_load_fractions",
+           "replica_load_fractions_from_matrix", "client_coefficients"]
 
 CapacityFn = Callable[[], Mapping[Hashable, float]]
 
@@ -43,6 +46,31 @@ def replica_load_fractions(
     if total == 0:
         raise ValueError("probe produced no placements")
     return {s: c / total for s, c in counts.items()}
+
+
+def replica_load_fractions_from_matrix(servers: np.ndarray
+                                       ) -> Dict[int, float]:
+    """:func:`replica_load_fractions` from a bulk placement's ``(N, r)``
+    server matrix (``BulkPlacement.servers``) — the drivers probe
+    placement via ``locate_bulk`` and hand the matrix here.
+
+    Produces the identical dict (values *and* first-encounter key
+    order) as the scalar probe loop; unplaceable rows (``-1``) are
+    ignored.
+    """
+    flat = np.asarray(servers).ravel()
+    valid = flat[flat >= 0]
+    total = int(valid.size)
+    if total == 0:
+        raise ValueError("probe produced no placements")
+    counts = np.bincount(valid)
+    order: List[int] = []
+    seen: set = set()
+    for s in flat.tolist():   # first-encounter order, as the scalar loop
+        if s >= 0 and s not in seen:
+            seen.add(s)
+            order.append(s)
+    return {s: int(counts[s]) / total for s in order}
 
 
 def client_coefficients(

@@ -1,0 +1,281 @@
+"""The slot-table placement kernel: table/bulk placement must be
+indistinguishable from the reference ring walk, and the memo must drop
+itself whenever the state it caches changes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.elastic import ElasticConsistentHash
+from repro.core.kernel import PlacementKernel
+from repro.core.placement import (
+    place_original_from_slot,
+    place_primary_from_slot,
+)
+from repro.experiments.three_phase import run_three_phase
+from repro.hashring.ring import HashRing
+from repro.obs.runtime import OBS
+
+
+def reference(ech, oid, version):
+    table = (ech.history.current if version is None
+             else ech.history.get(version))
+    try:
+        return ech._locate_reference(oid, table)
+    except LookupError:
+        return None
+
+
+def power_levels(ech):
+    """Every legal active count, min upward."""
+    return range(ech.min_active, ech.n + 1)
+
+
+class TestExhaustiveEquivalence:
+    """Acceptance criterion: table placement ≡ reference walk for every
+    slot of rings at n ∈ {4, 10, 25}, all power levels, both chain
+    modes — flags included."""
+
+    @pytest.mark.parametrize("n", [4, 10, 25])
+    @pytest.mark.parametrize("chain", ["walk", "rehash"])
+    def test_every_slot_every_power_level(self, n, chain):
+        ech = ElasticConsistentHash(n=n, replicas=2, B=60, chain=chain)
+        # Visit every power level (descending then ascending so both
+        # shrink- and grow-created versions are covered).
+        for k in sorted(power_levels(ech), reverse=True):
+            ech.set_active(k)
+        for k in power_levels(ech):
+            ech.set_active(k)
+        for version in range(1, ech.current_version + 1):
+            table = ech.history.get(version)
+            tbl = ech._kernel.table(version, table.is_active)
+            for slot in range(tbl.num_slots):
+                try:
+                    ref = place_primary_from_slot(
+                        ech.ring, slot, ech.replicas,
+                        ech.is_primary, table.is_active, chain)
+                except LookupError:
+                    ref = None
+                if ref is None:
+                    with pytest.raises(LookupError):
+                        tbl.lookup(slot)
+                else:
+                    got = tbl.lookup(slot)
+                    assert got.servers == ref.servers
+                    assert got.degraded == ref.degraded
+                    assert got.skipped_inactive == ref.skipped_inactive
+
+    @pytest.mark.parametrize("n", [4, 10])
+    def test_every_slot_original_mode(self, n):
+        ech = ElasticConsistentHash(n=n, replicas=2, B=60,
+                                    placement_mode="original")
+        for k in power_levels(ech):
+            ech.set_active(k)
+        for version in range(1, ech.current_version + 1):
+            table = ech.history.get(version)
+            tbl = ech._kernel.table(version, table.is_active)
+            for slot in range(tbl.num_slots):
+                try:
+                    ref = place_original_from_slot(
+                        ech.ring, slot, ech.replicas, table.is_active)
+                except LookupError:
+                    ref = None
+                if ref is None:
+                    with pytest.raises(LookupError):
+                        tbl.lookup(slot)
+                else:
+                    got = tbl.lookup(slot)
+                    assert (got.servers, got.degraded,
+                            got.skipped_inactive) == \
+                        (ref.servers, ref.degraded, ref.skipped_inactive)
+
+
+class TestLocateEquivalence:
+    """Property: kernel-served locate / locate_bulk match the reference
+    walk across seeds, cluster sizes, power states and chain modes."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n,chain,mode", [
+        (4, "walk", "primary"),
+        (10, "rehash", "primary"),
+        (25, "walk", "primary"),
+        (10, "walk", "original"),
+    ])
+    def test_scalar_and_bulk_match_reference(self, seed, n, chain, mode):
+        rng = np.random.default_rng(seed)
+        ech = ElasticConsistentHash(n=n, replicas=3, B=200, chain=chain,
+                                    placement_mode=mode)
+        for k in rng.choice(list(power_levels(ech)), size=4,
+                            replace=True):
+            ech.set_active(int(k))
+        oids = [int(x) for x in rng.integers(0, 10**9, size=400)]
+        for version in [None] + list(range(1, ech.current_version + 1)):
+            refs = [reference(ech, oid, version) for oid in oids]
+            for oid, ref in zip(oids, refs):
+                if ref is None:
+                    with pytest.raises(LookupError):
+                        ech.locate(oid, version)
+                else:
+                    assert ech.locate(oid, version) == ref
+            bulk = ech.locate_bulk(oids, version)
+            assert len(bulk) == len(oids)
+            for i, ref in enumerate(refs):
+                if ref is None:
+                    assert not bulk.ok[i]
+                else:
+                    assert bulk.ok[i]
+                    assert tuple(bulk.servers[i].tolist()) == ref.servers
+                    assert bool(bulk.degraded[i]) == ref.degraded
+                    assert bool(bulk.skipped_inactive[i]) == \
+                        ref.skipped_inactive
+                    assert bulk.result(i) == ref
+
+    def test_bulk_positions_match_bulk(self):
+        from repro.hashring.hashing import bulk_hash
+        ech = ElasticConsistentHash(n=10, replicas=2, B=200)
+        ech.set_active(6)
+        oids = range(5_000, 5_400)
+        a = ech.locate_bulk(oids)
+        b = ech.locate_bulk_positions(bulk_hash(oids, "fnv1a"))
+        assert np.array_equal(a.servers, b.servers)
+        assert np.array_equal(a.degraded, b.degraded)
+
+    def test_empty_bulk(self):
+        ech = ElasticConsistentHash(n=4, replicas=2, B=60)
+        bulk = ech.locate_bulk([])
+        assert len(bulk) == 0 and bulk.all_ok
+
+
+class TestInvalidation:
+    def test_set_active_creates_new_table_keeps_old(self):
+        ech = ElasticConsistentHash(n=6, replicas=2, B=100)
+        before = ech.locate(42)
+        assert ech._kernel.cached_tables == (1,)
+        ech.set_active(4)
+        after = ech.locate(42)
+        # Version 1's table survives (history is append-only) ...
+        assert ech.locate(42, version=1) == before
+        assert set(ech._kernel.cached_tables) == {1, 2}
+        # ... and the new version re-placed against its own membership.
+        assert after == reference(ech, 42, None)
+
+    def test_set_weight_drops_every_table(self):
+        ech = ElasticConsistentHash(n=6, replicas=2, B=100)
+        ech.locate(42)
+        ech.locate(43)
+        assert ech._kernel.cached_tables
+        gen = ech.ring.generation
+        ech.ring.set_weight(2, 500)
+        assert ech.ring.generation == gen + 1
+        # Next locate sees the generation bump and rebuilds from the
+        # re-weighted ring.
+        got = ech.locate(42)
+        assert ech._kernel.cached_tables == (1,)
+        assert got == reference(ech, 42, None)
+
+    def test_explicit_invalidate(self):
+        ech = ElasticConsistentHash(n=6, replicas=2, B=100)
+        ech.locate(42)
+        assert ech._kernel.cached_tables
+        ech.invalidate_placement_cache()
+        assert ech._kernel.cached_tables == ()
+
+    def test_relayout_invalidates_uniform_mode(self):
+        # Uniform layout: weights do not change with p, so only the
+        # explicit hook in apply_relayout protects the memo.
+        from repro.core.dynamic_primaries import apply_relayout
+        ech = ElasticConsistentHash(n=8, replicas=2, B=100,
+                                    layout_mode="uniform")
+        ech.locate(42)
+        apply_relayout(ech, ech.p + 2)
+        assert ech.locate(42) == reference(ech, 42, None)
+
+    def test_table_lru_caps_versions(self):
+        ech = ElasticConsistentHash(n=6, replicas=2, B=60)
+        ech._kernel._max_tables = 3
+        versions = [ech.current_version]
+        for k in (4, 3, 5, 4, 6, 3):
+            ech.set_active(k)
+            versions.append(ech.current_version)
+        for v in versions:
+            ech.locate(7, version=v)
+        assert len(ech._kernel.cached_tables) == 3
+        # Evicted versions still resolve (table rebuilt on demand).
+        assert ech.locate(7, version=versions[0]) == \
+            reference(ech, 7, versions[0])
+
+
+class TestKernelInternals:
+    def test_lazy_fill(self):
+        ech = ElasticConsistentHash(n=10, replicas=2, B=200)
+        tbl = ech._kernel.table(1, ech.history.current.is_active)
+        assert tbl.filled_slots == 0
+        ech.locate(42)
+        assert tbl.filled_slots >= 1
+        ech.locate_bulk(range(100))
+        assert 0 < tbl.filled_slots <= tbl.num_slots
+
+    def test_table_hits_metric(self):
+        ech = ElasticConsistentHash(n=10, replicas=2, B=200)
+        ech.locate(42)
+        OBS.hot = True
+        try:
+            before = OBS.metrics.counter("ring.table_hits").value
+            ech.locate(42)                    # scalar table hit
+            ech.locate_bulk([42, 42, 42])     # three bulk table hits
+            after = OBS.metrics.counter("ring.table_hits").value
+        finally:
+            OBS.hot = False
+        assert after - before == 4
+
+    def test_requires_primary_oracle(self):
+        ring = HashRing()
+        ring.add_server(1, weight=10)
+        with pytest.raises(ValueError):
+            PlacementKernel(ring, 2, placement_mode="primary")
+        with pytest.raises(ValueError):
+            PlacementKernel(ring, 2, placement_mode="nope")
+
+
+class TestTraceIdentity:
+    """Acceptance criterion: same-seed experiment traces are
+    byte-identical with the kernel enabled (vs. the reference path)."""
+
+    def _trace(self):
+        OBS.reset()
+        with OBS.bus.capture(capacity=100_000) as sink:
+            run_three_phase(
+                mode="selective", scale=0.01, n=10, probe_objects=200,
+                max_duration=400.0)
+            events = sink.events()
+        OBS.reset()
+        return json.dumps(events, sort_keys=True, default=str)
+
+    def test_three_phase_trace_identical(self):
+        assert self._trace() == self._trace()
+
+    def test_cluster_scenario_identical_with_and_without_kernel(self):
+        def run(enabled):
+            OBS.reset()
+            from repro.cluster.cluster import ElasticCluster
+            with OBS.bus.capture(capacity=100_000) as sink:
+                cl = ElasticCluster(n=10, replicas=2, B=200)
+                cl.ech.kernel_enabled = enabled
+                for oid in range(400):
+                    cl.write(oid)
+                cl.resize(6)
+                for oid in range(400, 800):
+                    cl.write(oid)
+                cl.resize(10)
+                cl.run_selective_reintegration()
+                state = (cl.bytes_per_rank(), cl.replicas_per_rank(),
+                         sorted(cl.ech.last_written.items()))
+                events = sink.events()
+            OBS.reset()
+            return state, json.dumps(events, sort_keys=True, default=str)
+
+        s_on, t_on = run(True)
+        s_off, t_off = run(False)
+        assert s_on == s_off
+        assert t_on == t_off

@@ -100,6 +100,31 @@ class TestBulkHash:
         bulk = bulk_hash(keys)
         assert list(bulk) == [hash64(k) for k in keys]
 
+    def test_vectorised_int_path_matches_scalar(self):
+        # The fnv1a fast path (digit-grouped vectorised fold) must be
+        # bit-identical to the per-key loop: every decimal length,
+        # zero, the uint64 extremes, and both array and range inputs.
+        edge = [0, 1, 9, 10, 99, 100, 2**32, 2**63, 2**64 - 1]
+        edge += [10**d for d in range(1, 20)]
+        edge += [10**d - 1 for d in range(1, 20)]
+        arr = np.array(edge, dtype=np.uint64)
+        assert list(bulk_hash(arr)) == [hash64(int(k)) for k in edge]
+
+        rng = np.random.default_rng(7)
+        rand = rng.integers(0, 2**63, size=5_000).astype(np.uint64)
+        assert list(bulk_hash(rand)) == [hash64(int(k)) for k in rand]
+
+        r = range(10_000_000, 10_002_000)
+        assert list(bulk_hash(r)) == [hash64(k) for k in r]
+
+    def test_negative_ints_fall_back_to_scalar(self):
+        arr = np.array([-5, 3, -(2**40)], dtype=np.int64)
+        assert list(bulk_hash(arr)) == [hash64(int(k)) for k in arr]
+
+    def test_empty_inputs(self):
+        assert bulk_hash(range(0)).size == 0
+        assert bulk_hash(np.empty(0, dtype=np.uint64)).size == 0
+
 
 class TestSplitmix64Array:
     def test_matches_vnode_derivation(self):
