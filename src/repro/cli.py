@@ -6,6 +6,7 @@
     python -m repro layout --n 10 --B 10000
     python -m repro agility
     python -m repro three-phase --mode selective --scale 0.5
+    python -m repro chaos --seed 7 --scale 0.25
     python -m repro fig5
     python -m repro trace --which CC-a
     python -m repro stats run.jsonl --kind migration. --top 5
@@ -47,6 +48,7 @@ import numpy as np
 
 from repro.core.elastic import ElasticConsistentHash
 from repro.core.layout import CapacityPlan, EqualWorkLayout
+from repro.faults import FaultPlan, render_chaos_report, run_chaos
 from repro.experiments import (
     run_layout_versions,
     run_resize_agility,
@@ -108,6 +110,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default="selective",
                    choices=["none", "original", "full", "selective"])
     p.add_argument("--scale", type=float, default=0.5)
+    _add_obs_flags(p)
+
+    p = sub.add_parser("chaos",
+                       help="replay the 3-phase workload under a "
+                            "deterministic fault plan with live "
+                            "invariant checking; exit 1 unless the "
+                            "run ends healthy")
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault-plan seed (same seed = byte-identical "
+                        "run)")
+    p.add_argument("--n", type=int, default=10)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--off-count", type=int, default=4,
+                   help="servers powered down after phase 1")
+    p.add_argument("--plan", metavar="PLAN.json", default=None,
+                   help="load the fault plan from JSON instead of "
+                        "generating it from --seed")
+    p.add_argument("--audit-every", type=float, default=10.0,
+                   help="seconds between replication audits")
     _add_obs_flags(p)
 
     p = sub.add_parser("fig5", help="Figure 5: layout across versions")
@@ -215,6 +237,24 @@ def _cmd_three_phase(args) -> str:
     ])
 
 
+def _cmd_chaos(args):
+    # Returns (report, exit_code): 0 healthy, 1 degraded or violated.
+    plan = None
+    if args.plan:
+        try:
+            plan = FaultPlan.load(args.plan)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro chaos: bad --plan file: {exc}")
+    try:
+        result = run_chaos(seed=args.seed, n=args.n,
+                           replicas=args.replicas, scale=args.scale,
+                           off_count=args.off_count, plan=plan,
+                           audit_every=args.audit_every)
+    except ValueError as exc:
+        raise SystemExit(f"repro chaos: {exc}")
+    return render_chaos_report(result), (0 if result.ok else 1)
+
+
 def _cmd_fig5(args) -> str:
     res = run_layout_versions(objects_v1=args.objects_v1,
                               objects_v2=args.objects_v2)
@@ -269,6 +309,7 @@ _COMMANDS = {
     "layout": _cmd_layout,
     "agility": _cmd_agility,
     "three-phase": _cmd_three_phase,
+    "chaos": _cmd_chaos,
     "fig5": _cmd_fig5,
     "trace": _cmd_trace,
     "stats": _cmd_stats,

@@ -19,6 +19,7 @@ re-adding a server migrates everything the new layout maps onto it
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.hashring.hashing import bulk_hash
 from repro.core.reintegration import (
     MigrationTask,
     ReintegrationEngine,
+    ReintegrationPlan,
     ReintegrationReport,
 )
 from repro.cluster.objects import DEFAULT_OBJECT_SIZE, ObjectCatalog
@@ -37,7 +39,39 @@ from repro.cluster.server import StorageServer
 from repro.hashring.ring import HashRing
 from repro.obs.runtime import OBS
 
-__all__ = ["ElasticCluster", "OriginalCHCluster"]
+__all__ = ["ElasticCluster", "OriginalCHCluster", "CrashRecoveryWork"]
+
+
+@dataclass
+class CrashRecoveryWork:
+    """The re-replication debt a crash leaves behind.
+
+    :meth:`ElasticCluster.crash_server` returns one of these instead
+    of repairing in place: the crash's *observable* effects (version
+    advance, dirty tracking, lost replica maps) are immediate, but the
+    re-replication bytes only land when
+    :meth:`ElasticCluster.commit_crash_recovery` runs — after a
+    transfer layer has actually moved them, or immediately for the
+    classic instantaneous :meth:`ElasticCluster.fail_server` path.
+    """
+
+    rank: int
+    #: Crash-time membership version (the epoch the dirty entries
+    #: carry).
+    version: int
+    #: ``oid -> size`` of every replica lost with the server, in the
+    #: server's replica-map order (deterministic).
+    lost: Dict[int, int] = field(default_factory=dict)
+    #: The open ``recovery.fail`` span; closed by the commit.
+    span: Optional[object] = None
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.lost)
+
+    @property
+    def lost_bytes(self) -> int:
+        return sum(self.lost.values())
 
 
 class _ClusterBase:
@@ -169,6 +203,19 @@ class ElasticCluster(_ClusterBase):
         #: until the re-integration debt it exposed is fully drained.
         #: None while no cycle is in flight.
         self.reintegration_cycle = None
+        #: ``rank -> reference count`` of in-flight transfers (managed
+        #: by :meth:`acquire_ranks`/:meth:`release_ranks`): membership
+        #: repairs must not race a transfer that still reads from or
+        #: writes to the rank.
+        self.inflight_ranks: Dict[int, int] = {}
+        #: OIDs that lost every replica under a non-strict crash
+        #: recovery (overlapping failures faster than repair) — the
+        #: chaos harness's "data actually gone" ledger.
+        self.lost_objects: List[int] = []
+        #: Partial-transfer bytes discarded by fault preemptions,
+        #: recorded by the transfer layer via
+        #: :meth:`record_wasted_bytes`.
+        self.wasted_bytes: Dict[str, float] = {}
 
     def _object_size(self, oid: int) -> int:
         obj = self.catalog.get(oid)
@@ -252,18 +299,15 @@ class ElasticCluster(_ClusterBase):
     # ------------------------------------------------------------------
     # failures
     # ------------------------------------------------------------------
-    def fail_server(self, rank: int) -> int:
-        """An unexpected crash: the server's replicas are *lost* (the
-        difference from :meth:`resize`'s power-down, which keeps data
-        on disk).  A new version excludes the rank; every lost replica
-        is re-replicated from a surviving copy to the placement under
-        the new version.  Affected objects are dirty-tracked, so when
-        the rank is repaired and re-activated, ordinary selective
-        re-integration restores the layout.
-
-        Returns the bytes re-replicated.  Raises ``RuntimeError`` if
-        any object had *all* its replicas on the failed server
-        (irrecoverable with this replication factor).
+    def crash_server(self, rank: int) -> CrashRecoveryWork:
+        """An unexpected crash, *effects only*: the server's replicas
+        are lost (the difference from :meth:`resize`'s power-down,
+        which keeps data on disk), a new version excludes the rank,
+        and every affected object is dirty-tracked.  The
+        re-replication debt is returned as a
+        :class:`CrashRecoveryWork` for the caller to commit — either
+        immediately (:meth:`fail_server`) or after a simulated,
+        interruptible recovery transfer has moved the bytes.
         """
         srv = self.servers[rank]
         lost = {oid: srv.replica_size(oid) for oid in srv.replicas()}
@@ -279,19 +323,53 @@ class ElasticCluster(_ClusterBase):
         srv.power_off()
         self.ech.mark_failed(rank)
         self.unverified_ranks.discard(rank)
+        curr = self.ech.current_version
+        # Crash-consistency: the affected objects deviate from the
+        # full-power layout *now*, whether or not the recovery bytes
+        # have landed — the dirty entry is created with the crash, and
+        # only an acknowledged transfer may clear it later.
+        for oid in lost:
+            obj = self.catalog.get(oid)
+            if obj is not None and not self.ech.is_full_power:
+                obj.dirty = True
+                self.ech.dirty.insert(oid, curr)
+        return CrashRecoveryWork(rank=rank, version=curr, lost=dict(lost),
+                                 span=recovery_span)
 
+    def commit_crash_recovery(self, work: CrashRecoveryWork,
+                              strict: bool = True) -> int:
+        """Land the re-replication debt of one crash: every lost
+        replica is copied from a surviving copy to the placement under
+        the version current *now* (which may be newer than the crash
+        version — recovery re-plans at commit time).
+
+        Returns the bytes re-replicated.  An object with no surviving
+        replica is irrecoverable: with *strict* (the immediate
+        :meth:`fail_server` path) that raises ``RuntimeError``; the
+        chaos path passes ``strict=False`` so the loss is recorded in
+        :attr:`lost_objects`, emitted as an ``object.lost`` event (the
+        no-lost-object invariant's tripwire), and the remaining
+        objects still recover.
+        """
         moved = 0
         curr = self.ech.current_version
         active = self.ech.membership.active_ranks()
-        lost_oids = list(lost)
+        lost_oids = list(work.lost)
         bulk = (self.ech.locate_bulk(lost_oids, curr)
                 if lost_oids else None)
-        for i, (oid, size) in enumerate(lost.items()):
+        for i, (oid, size) in enumerate(work.lost.items()):
             survivors = self.stored_locations(oid)
             if not survivors:
-                raise RuntimeError(
-                    f"object {oid} lost every replica in the crash of "
-                    f"rank {rank}")
+                if strict:
+                    raise RuntimeError(
+                        f"object {oid} lost every replica in the crash "
+                        f"of rank {work.rank}")
+                self.lost_objects.append(oid)
+                OBS.metrics.inc("cluster.lost_objects")
+                if OBS.bus.active:
+                    OBS.bus.emit("object.lost", oid=oid,
+                                 rank=work.rank, nbytes=size)
+                continue
             if bulk.ok[i]:
                 target = tuple(bulk.servers[i].tolist())
             else:
@@ -308,24 +386,145 @@ class ElasticCluster(_ClusterBase):
             # must go, or the location-version chain breaks.
             self._drop_surplus(oid, target)
             self.ech.location_version[oid] = curr
-            obj = self.catalog.get(oid)
-            if obj is not None and not self.ech.is_full_power:
-                obj.dirty = True
-                self.ech.dirty.insert(oid, curr)
         OBS.metrics.inc("recovery.bytes", moved)
         if OBS.bus.active:
-            OBS.bus.emit("recovery.rereplicate", rank=rank, nbytes=moved)
-        recovery_span.end(nbytes=moved)
+            OBS.bus.emit("recovery.rereplicate", rank=work.rank,
+                         nbytes=moved)
+        if work.span is not None:
+            work.span.end(nbytes=moved)
         return moved
+
+    def crash_recovery_outlook(self, work: CrashRecoveryWork
+                               ) -> Tuple[int, Tuple[int, ...]]:
+        """What :meth:`commit_crash_recovery` would do *right now*:
+        ``(bytes to copy, ranks involved)`` — the sources and targets
+        the recovery transfer depends on, without mutating anything.
+        Unrecoverable objects contribute no bytes (their loss is the
+        commit's business)."""
+        nbytes = 0
+        ranks: set = set()
+        curr = self.ech.current_version
+        active = self.ech.membership.active_ranks()
+        lost_oids = list(work.lost)
+        bulk = (self.ech.locate_bulk(lost_oids, curr)
+                if lost_oids else None)
+        for i, (oid, size) in enumerate(work.lost.items()):
+            survivors = self.stored_locations(oid)
+            if not survivors:
+                continue
+            if bulk.ok[i]:
+                target = tuple(bulk.servers[i].tolist())
+            else:
+                target = tuple(active)
+            missing = [r for r in target
+                       if not self.servers[r].has_replica(oid)]
+            if missing:
+                nbytes += size * len(missing)
+                ranks.update(missing)
+                ranks.update(survivors)
+        return nbytes, tuple(sorted(ranks))
+
+    def fail_server(self, rank: int) -> int:
+        """A crash handled instantaneously: :meth:`crash_server`'s
+        effects plus an immediate :meth:`commit_crash_recovery`.  When
+        the rank is later repaired and re-activated, ordinary
+        selective re-integration restores the layout.
+
+        Returns the bytes re-replicated.  Raises ``RuntimeError`` if
+        any object had *all* its replicas on the failed server
+        (irrecoverable with this replication factor).
+        """
+        return self.commit_crash_recovery(self.crash_server(rank))
 
     def repair_server(self, rank: int) -> None:
         """The crashed server returns, empty.  It rejoins the expansion
         chain powered-off; a subsequent :meth:`resize` (plus selective
-        re-integration) brings it back into the layout."""
+        re-integration) brings it back into the layout.
+
+        Raises ``RuntimeError`` while any transfer still touching the
+        rank is in flight (see :attr:`inflight_ranks`): re-admitting
+        the rank mid-transfer would let a preempted migration commit
+        against a membership that silently resurrected its failed
+        endpoint.  Interrupt or drain the transfers first.
+        """
+        busy = self.inflight_ranks.get(rank, 0)
+        if busy:
+            raise RuntimeError(
+                f"cannot repair rank {rank}: {busy} in-flight "
+                f"transfer(s) still touch it; interrupt or drain them "
+                f"first")
         self.ech.mark_repaired(rank)
         # It rejoined empty: until re-integration verifies it, the full
         # path must treat its contents as unknown.
         self.unverified_ranks.discard(rank)
+        if OBS.bus.active:
+            OBS.bus.emit("server.repair", rank=rank)
+
+    # ------------------------------------------------------------------
+    # transfer bookkeeping (fault-injection support)
+    # ------------------------------------------------------------------
+    def acquire_ranks(self, ranks: Iterable[int]) -> None:
+        """Pin *ranks* as endpoints of an in-flight transfer."""
+        for rank in ranks:
+            self.inflight_ranks[rank] = self.inflight_ranks.get(rank, 0) + 1
+
+    def release_ranks(self, ranks: Iterable[int]) -> None:
+        """Release a transfer's pins (completion or preemption)."""
+        for rank in ranks:
+            left = self.inflight_ranks.get(rank, 0) - 1
+            if left > 0:
+                self.inflight_ranks[rank] = left
+            else:
+                self.inflight_ranks.pop(rank, None)
+
+    def record_wasted_bytes(self, kind: str, nbytes: float) -> None:
+        """Account partial-transfer bytes thrown away by a preemption."""
+        self.wasted_bytes[kind] = self.wasted_bytes.get(kind, 0.0) + nbytes
+
+    def replication_audit(self) -> Dict[str, int]:
+        """Physical replication health of the whole catalog: counts of
+        objects with zero replicas (*lost*) and with fewer than r
+        (*under-replicated*, recovery or re-integration still owed).
+        The chaos harness emits this as the periodic ``chaos.audit``
+        event the no-lost-object / replication-restored invariants
+        consume."""
+        lost = under = 0
+        for obj in self.catalog:
+            holders = len(self.stored_locations(obj.oid))
+            if holders == 0:
+                lost += 1
+            elif holders < self.replicas:
+                under += 1
+        return {"objects": len(self.catalog), "lost": lost,
+                "under_replicated": under}
+
+    def read_with_fallback(self, oid: int) -> Tuple[int, bool]:
+        """Degraded read along the replica chain: serve from the first
+        placement replica that is powered on *and* physically holds
+        the object; fall back to any powered-on holder outside the
+        placement (a parked or mid-recovery copy).  Returns
+        ``(rank, degraded)`` — degraded means the primary choice
+        could not serve.  Raises ``LookupError`` when no powered-on
+        server holds a replica (the object is unavailable until
+        repair)."""
+        obj = self.catalog.get(oid)
+        if obj is None:
+            raise KeyError(f"unknown object: {oid}")
+        try:
+            placement = self.ech.locate_current_replicas(oid).servers
+        except LookupError:
+            placement = ()
+        for i, rank in enumerate(placement):
+            srv = self.servers[rank]
+            if srv.is_on and srv.has_replica(oid):
+                if i > 0:
+                    OBS.metrics.inc("reads.degraded")
+                return rank, i > 0
+        for rank in self.stored_locations(oid):
+            if self.servers[rank].is_on:
+                OBS.metrics.inc("reads.degraded")
+                return rank, True
+        raise LookupError(f"no powered-on replica of object {oid}")
 
     # ------------------------------------------------------------------
     # IO path
@@ -420,6 +619,38 @@ class ElasticCluster(_ClusterBase):
     def selective_backlog_bytes(self) -> int:
         """Bytes the selective engine would move right now."""
         return self._engine.total_pending_bytes()
+
+    def plan_selective_reintegration(self) -> ReintegrationPlan:
+        """Snapshot one Algorithm-2 pass without mutating anything —
+        the transfer layer routes an interruptible flow from it (see
+        :class:`~repro.core.reintegration.ReintegrationPlan`)."""
+        return self._engine.plan_pass()
+
+    def commit_selective_reintegration(self, plan: ReintegrationPlan
+                                       ) -> ReintegrationReport:
+        """Commit a previously planned pass once its transfer has
+        completed and been acknowledged.  Migrations are re-planned
+        per entry at commit time (the membership may have moved on);
+        the same catalog/cycle bookkeeping as
+        :meth:`run_selective_reintegration` applies."""
+        report = self._engine.commit_entries(plan.entries)
+        self.migrated_bytes["selective"] += report.bytes_migrated
+        for entry in report.removed:
+            if not self.ech.dirty.contains_oid(entry.oid):
+                obj = self.catalog.get(entry.oid)
+                if obj is not None:
+                    obj.dirty = False
+        if self._engine.plan_pass().actionable == 0:
+            # Nothing left a commit could act on: the dirty table is
+            # reconciled against the current version.
+            self.unverified_ranks.clear()
+            if (self.reintegration_cycle is not None
+                    and self.ech.is_full_power
+                    and self.ech.dirty.is_empty()):
+                self.reintegration_cycle.end(status="drained")
+                self.reintegration_cycle = None
+                self._engine.span_parent = None
+        return report
 
     def run_full_reintegration(self) -> int:
         """The "primary+full" re-integration (§V-B): restore the layout

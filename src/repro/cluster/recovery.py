@@ -13,6 +13,7 @@ the trace analyser can model the delay a departure imposes:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -32,6 +33,26 @@ class RecoveryTask:
     sources: Tuple[int, ...]
     #: Servers that must receive a new replica.
     destinations: Tuple[int, ...]
+
+
+def _check_recovery_rate(per_server_bandwidth: float,
+                         fraction_for_recovery: float) -> None:
+    """Reject bandwidth/fraction inputs that would make a recovery-time
+    estimate divide by zero or go negative/NaN — a degraded-bandwidth
+    fault can legitimately drive a capacity to 0, and the planner must
+    say so instead of raising ``ZeroDivisionError`` downstream."""
+    if (not isinstance(per_server_bandwidth, (int, float))
+            or not math.isfinite(per_server_bandwidth)
+            or per_server_bandwidth <= 0):
+        raise ValueError(
+            f"per_server_bandwidth must be a positive, finite number of "
+            f"bytes/s, got {per_server_bandwidth!r}")
+    if (not isinstance(fraction_for_recovery, (int, float))
+            or not math.isfinite(fraction_for_recovery)
+            or not 0 < fraction_for_recovery <= 1):
+        raise ValueError(
+            f"fraction_for_recovery must be in (0, 1], got "
+            f"{fraction_for_recovery!r}")
 
 
 @dataclass
@@ -63,8 +84,7 @@ class RecoveryPlan:
         """Lower-bound (fully parallel) recovery time: the busiest
         receiver's ingest divided by the bandwidth share granted to
         recovery traffic."""
-        if per_server_bandwidth <= 0 or not 0 < fraction_for_recovery <= 1:
-            raise ValueError("bandwidth and fraction must be positive")
+        _check_recovery_rate(per_server_bandwidth, fraction_for_recovery)
         per_dst = self.bytes_per_destination()
         if not per_dst:
             return 0.0
@@ -82,8 +102,7 @@ class RecoveryPlan:
         total plan bytes over one server's granted bandwidth — is the
         faithful model of that behaviour and the one the agility
         experiment uses."""
-        if per_server_bandwidth <= 0 or not 0 < fraction_for_recovery <= 1:
-            raise ValueError("bandwidth and fraction must be positive")
+        _check_recovery_rate(per_server_bandwidth, fraction_for_recovery)
         return self.total_bytes / (per_server_bandwidth
                                    * fraction_for_recovery)
 

@@ -153,6 +153,10 @@ class DirtyTable:
             removed = store.lrem(_LIST_KEY, 1, entry)
         if removed:
             self._index.discard((entry.version, entry.oid))
+            OBS.metrics.inc("dirty.removes")
+            if OBS.bus.active:
+                OBS.bus.emit("dirty.remove", oid=entry.oid,
+                             version=entry.version)
         return bool(removed)
 
     def remove_oid(self, oid: int) -> int:
@@ -163,8 +167,13 @@ class DirtyTable:
         victims = [e for e in store.lrange(_LIST_KEY, 0, -1) if e.oid == oid]
         removed = 0
         for e in victims:
-            removed += store.lrem(_LIST_KEY, 1, e)
-            self._index.discard((e.version, e.oid))
+            if store.lrem(_LIST_KEY, 1, e):
+                removed += 1
+                self._index.discard((e.version, e.oid))
+                OBS.metrics.inc("dirty.removes")
+                if OBS.bus.active:
+                    OBS.bus.emit("dirty.remove", oid=e.oid,
+                                 version=e.version)
         return removed
 
     def clear(self) -> None:

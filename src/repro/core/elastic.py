@@ -242,7 +242,15 @@ class ElasticConsistentHash:
         self.failed.add(rank)
         active = self.history.current.active - {rank}
         if not active:
+            self.failed.discard(rank)
             raise RuntimeError("failure would empty the cluster")
+        # Fault-driven membership change: drop every memoized slot
+        # table.  Per-version keying alone would stay correct (tables
+        # are immutable snapshots), but a crash invalidates the cached
+        # oid→slot fast paths' assumption that the table set is settled
+        # — re-deriving from the ring is the belt-and-braces guarantee
+        # that no stale table survives a fault.
+        self._kernel.invalidate()
         if active == self.history.current.active:
             return self.history.current   # was not active anyway
         return self.history.advance(sorted(active))
@@ -255,6 +263,9 @@ class ElasticConsistentHash:
             self.failed.remove(rank)
         except KeyError:
             raise ValueError(f"rank {rank} is not failed") from None
+        # Mirror of mark_failed: restart/repair is a fault-driven
+        # membership change too.
+        self._kernel.invalidate()
 
     def power_off(self, count: int = 1) -> MembershipTable:
         """Turn off *count* servers from the top of the chain."""

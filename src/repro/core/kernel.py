@@ -255,12 +255,14 @@ class PlacementKernel:
 
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
-        """Drop every memoized table (role/layout change hook)."""
+        """Drop every memoized table (role/layout change and
+        crash/repair hook)."""
         self._tables.clear()
         self._slot_cache.clear()
         self._last_key = _NO_KEY
         self._last_tbl = None
         self._generation = self._ring.generation
+        OBS.metrics.inc("kernel.invalidations")
 
     def _check_generation(self) -> None:
         if self._ring.generation != self._generation:

@@ -42,7 +42,8 @@ from repro.core.dirty_table import DirtyEntry, DirtyTable
 from repro.core.elastic import ElasticConsistentHash
 from repro.obs.runtime import OBS
 
-__all__ = ["MigrationTask", "ReintegrationReport", "ReintegrationEngine"]
+__all__ = ["MigrationTask", "ReintegrationReport", "ReintegrationPlan",
+           "ReintegrationEngine"]
 
 ObjectSizeFn = Callable[[int], int]
 MigrateCallback = Callable[["MigrationTask"], None]
@@ -92,6 +93,44 @@ class ReintegrationReport:
         self.entries_stale += other.entries_stale
         self.bytes_migrated += other.bytes_migrated
         self.caught_up = other.caught_up
+
+
+@dataclass
+class ReintegrationPlan:
+    """A non-mutating snapshot of one Algorithm-2 pass: the entries a
+    commit would scan, the migration each actionable entry implies
+    *under the planning version*, and the copy traffic.  Built by
+    :meth:`ReintegrationEngine.plan_pass` and consumed by
+    :meth:`ReintegrationEngine.commit_entries` — the split lets a
+    transfer layer move the bytes (interruptibly) before any placement
+    state mutates, so a crash mid-transfer simply discards the plan.
+    """
+
+    version: int
+    entries: List[DirtyEntry] = field(default_factory=list)
+    #: Per-entry planned task, aligned with ``entries``; None where the
+    #: entry is stale, already in place, or not actionable yet.
+    tasks: List[Optional[MigrationTask]] = field(default_factory=list)
+    #: Entries a commit would migrate and/or remove.
+    actionable: int = 0
+    #: Planned copy traffic in bytes.
+    nbytes: int = 0
+
+    @property
+    def oids(self) -> Tuple[int, ...]:
+        """OIDs covered by this plan, in entry (fetch) order."""
+        return tuple(e.oid for e in self.entries)
+
+    def involved_ranks(self) -> Tuple[int, ...]:
+        """Every rank a planned migration reads from or writes to,
+        sorted — the fault-domain of the transfer that will carry this
+        plan."""
+        ranks: set = set()
+        for task in self.tasks:
+            if task is not None:
+                ranks.update(task.from_servers)
+                ranks.update(task.moved_to)
+        return tuple(sorted(ranks))
 
 
 class ReintegrationEngine:
@@ -218,36 +257,8 @@ class ReintegrationEngine:
             entry = self._snapshot[self._cursor]
             self._cursor += 1
             report.entries_processed += 1
-
-            # Staleness: a newer write supersedes this entry.
-            latest = self.ech.last_written.get(entry.oid, entry.version)
-            if latest > entry.version:
-                report.entries_stale += 1
-                if full_power:
-                    self.ech.dirty.remove(entry)
-                    report.removed.append(entry)
-                    report.entries_removed += 1
-                continue
-
-            # Line 6: only act when the cluster has grown past the
-            # entry's version.
-            if curr_active > self.ech.history.num_active(entry.version):
-                task = self.plan_task(entry)
-                if task is not None:
-                    if self.on_migrate is not None:
-                        self.on_migrate(task)
-                    report.tasks.append(task)
-                    report.bytes_migrated += task.nbytes
-                    report.entries_migrated += 1
-                # The replicas now sit at the current version's
-                # placement — advance the header's location version so
-                # a later pass migrates from here (Figure 6).
-                self.ech.location_version[entry.oid] = curr_ver
-                # Lines 11-13: clear only at full power.
-                if full_power:
-                    self.ech.dirty.remove(entry)
-                    report.removed.append(entry)
-                    report.entries_removed += 1
+            self._process_entry(entry, report, curr_ver, full_power,
+                                curr_active)
         else:
             # Scanned every entry without exhausting a budget.
             report.caught_up = True
@@ -258,6 +269,112 @@ class ReintegrationEngine:
                           migrated=report.entries_migrated,
                           nbytes=report.bytes_migrated,
                           caught_up=report.caught_up)
+        return report
+
+    def _process_entry(self, entry: DirtyEntry,
+                       report: ReintegrationReport, curr_ver: int,
+                       full_power: bool, curr_active: int) -> None:
+        """Algorithm 2's per-entry body (lines 5-13), shared by the
+        immediate :meth:`step` loop and the deferred
+        :meth:`commit_entries` path."""
+        # Staleness: a newer write supersedes this entry.
+        latest = self.ech.last_written.get(entry.oid, entry.version)
+        if latest > entry.version:
+            report.entries_stale += 1
+            if full_power:
+                self.ech.dirty.remove(entry)
+                report.removed.append(entry)
+                report.entries_removed += 1
+            return
+
+        # Line 6: only act when the cluster has grown past the
+        # entry's version.
+        if curr_active > self.ech.history.num_active(entry.version):
+            task = self.plan_task(entry)
+            if task is not None:
+                if self.on_migrate is not None:
+                    self.on_migrate(task)
+                report.tasks.append(task)
+                report.bytes_migrated += task.nbytes
+                report.entries_migrated += 1
+            # The replicas now sit at the current version's
+            # placement — advance the header's location version so
+            # a later pass migrates from here (Figure 6).
+            self.ech.location_version[entry.oid] = curr_ver
+            # Lines 11-13: clear only at full power.
+            if full_power:
+                self.ech.dirty.remove(entry)
+                report.removed.append(entry)
+                report.entries_removed += 1
+
+    # ------------------------------------------------------------------
+    # deferred (plan → transfer → commit) path
+    # ------------------------------------------------------------------
+    def plan_pass(self) -> ReintegrationPlan:
+        """Snapshot what one pass would do under the current version,
+        without mutating anything.  The transfer layer sizes and routes
+        an interruptible flow from the plan; the plan's entries are
+        handed back to :meth:`commit_entries` once the bytes have
+        actually moved and been acknowledged."""
+        curr_ver = self.ech.current_version
+        full_power = self.ech.is_full_power
+        curr_active = self.ech.history.num_active(curr_ver)
+        plan = ReintegrationPlan(version=curr_ver,
+                                 entries=self.ech.dirty.entries())
+        for entry in plan.entries:
+            latest = self.ech.last_written.get(entry.oid, entry.version)
+            if latest > entry.version:
+                plan.tasks.append(None)
+                if full_power:      # a commit would remove the stale row
+                    plan.actionable += 1
+                continue
+            if curr_active > self.ech.history.num_active(entry.version):
+                task = self.plan_task(entry)
+                plan.tasks.append(task)
+                plan.actionable += 1
+                if task is not None:
+                    plan.nbytes += task.nbytes
+            else:
+                plan.tasks.append(None)
+        return plan
+
+    def commit_entries(self, entries: Sequence[DirtyEntry]
+                       ) -> ReintegrationReport:
+        """Apply Algorithm-2 processing to a fixed entry list — the
+        commit half of the deferred path, run when the transfer
+        carrying a plan completes and is acknowledged.
+
+        Migrations are re-planned per entry *at commit time*: the
+        membership may have advanced since :meth:`plan_pass` (an
+        unrelated crash, a resize), and placement state must only ever
+        move toward the version that is current when the bytes land.
+        Entries no longer present in the table (superseded or already
+        removed) are skipped.  The scan cursor of :meth:`step` is not
+        touched.
+        """
+        report = ReintegrationReport()
+        if self.state != self.RUNNING:
+            return report
+        curr_ver = self.ech.current_version
+        full_power = self.ech.is_full_power
+        curr_active = self.ech.history.num_active(curr_ver)
+        live = [e for e in entries
+                if self.ech.dirty.contains(e.oid, e.version)]
+        commit_span = None
+        if live:
+            commit_span = OBS.spans.begin("reintegration.commit",
+                                          parent=self.span_parent,
+                                          version=curr_ver)
+        for entry in live:
+            report.entries_processed += 1
+            self._process_entry(entry, report, curr_ver, full_power,
+                                curr_active)
+        report.caught_up = True
+        self._record(report)
+        if commit_span is not None:
+            commit_span.end(entries=report.entries_processed,
+                            migrated=report.entries_migrated,
+                            nbytes=report.bytes_migrated)
         return report
 
     def _record(self, report: ReintegrationReport) -> None:

@@ -1,0 +1,49 @@
+"""Deterministic fault injection: plans, the injector, interruptible
+transfers with retry/backoff, and the chaos harness.
+
+The robustness claim of the elastic design — dirty tracking plus
+selective re-integration keeps data safe across power transitions —
+only means something if it survives faults *during* the transitions.
+This package supplies the machinery to test that:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — a declarative, seedable,
+  JSON-serialisable schedule of crashes (with delayed repair),
+  transient disk-bandwidth degradations and transient link losses;
+* :class:`FaultInjector` — expands a plan into atomic actions on the
+  discrete-event :class:`~repro.simulation.engine.Simulator`, so a
+  same-seed run replays the identical fault sequence byte for byte;
+* :class:`RetryPolicy` — capped exponential backoff with
+  deterministic (hash-derived) jitter and a quarantine threshold;
+* :class:`TransferManager` / :class:`TransferJob` — recovery and
+  re-integration as *interruptible* fluid transfers: a crash or link
+  loss preempts the flow, wastes its partial bytes, and re-enqueues
+  the work under the retry policy; state only commits on an
+  acknowledged completion;
+* :func:`run_chaos` — the §V-A three-phase workload replayed under a
+  fault plan with the online invariant checkers attached
+  (``python -m repro chaos``).
+"""
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.injector import FaultAction, FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.faults.transfers import (
+    PlannedTransfer,
+    TransferJob,
+    TransferManager,
+)
+from repro.faults.harness import ChaosResult, render_chaos_report, run_chaos
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultAction",
+    "FaultInjector",
+    "RetryPolicy",
+    "PlannedTransfer",
+    "TransferJob",
+    "TransferManager",
+    "ChaosResult",
+    "run_chaos",
+    "render_chaos_report",
+]

@@ -33,10 +33,25 @@ checker                invariant
                        dirty table has seen
 ``bandwidth-cap``      no server's allocated disk rate exceeds its
                        capacity in any tick
-``flow-accounting``    every started flow finishes or is cancelled
+``flow-accounting``    every started flow finishes, is cancelled, or
+                       is interrupted by a fault
 ``machine-hours``      ``power.sample`` active counts agree with the
                        ``server.state`` transitions between them
+``no-lost-object``     no object ever loses its last replica
+``replication-restored-after-repair``
+                       the final ``chaos.audit`` of the run reports
+                       full replication (faults were repaired and
+                       recovery converged)
+``dirty-entry-cleared-only-on-ack``
+                       once transfers are in play, a dirty entry is
+                       only removed after a ``transfer.ack`` covering
+                       its oid (an interrupted transfer must leave
+                       entries intact)
 ====================== ================================================
+
+The last three are grounded by fault-injection events
+(``chaos.audit`` / ``object.lost`` / ``transfer.*``), so traces from
+fault-free runs pass them vacuously.
 """
 
 from __future__ import annotations
@@ -59,6 +74,9 @@ __all__ = [
     "BandwidthCapChecker",
     "FlowAccountingChecker",
     "MachineHourChecker",
+    "NoLostObjectChecker",
+    "ReplicationRestoredChecker",
+    "DirtyAckChecker",
 ]
 
 
@@ -223,9 +241,10 @@ class BandwidthCapChecker(Checker):
 
 
 class FlowAccountingChecker(Checker):
-    """Every ``flow.start`` is matched by a ``flow.finish`` or a
-    ``flow.cancel`` — no flow silently evaporates (lost bytes would be
-    invisible in the throughput figures)."""
+    """Every ``flow.start`` is matched by a ``flow.finish``, a
+    ``flow.cancel``, or a fault preemption's ``flow.interrupt`` — no
+    flow silently evaporates (lost bytes would be invisible in the
+    throughput figures)."""
 
     name = "flow-accounting"
 
@@ -239,7 +258,7 @@ class FlowAccountingChecker(Checker):
         if kind == "flow.start":
             key = event.get("span_id", ("anon", len(self._open), index))
             self._open[key] = (index, event)
-        elif kind in ("flow.finish", "flow.cancel"):
+        elif kind in ("flow.finish", "flow.cancel", "flow.interrupt"):
             key = event.get("span_id")
             if key is not None:
                 if key in self._open:
@@ -264,7 +283,8 @@ class FlowAccountingChecker(Checker):
             self.fail(event, index,
                       f"flow {event.get('name')!r} "
                       f"(span_id={event.get('span_id')!r}) started but "
-                      f"never finished or was cancelled")
+                      f"never finished, was cancelled, or was "
+                      f"interrupted")
 
 
 class MachineHourChecker(Checker):
@@ -308,6 +328,96 @@ class MachineHourChecker(Checker):
             self._state_seen_since_sample = False
 
 
+class NoLostObjectChecker(Checker):
+    """No object ever loses its last replica: recovery (or the write
+    path) must always find a surviving copy to re-replicate from.
+    Trips on an explicit ``object.lost`` event or on any
+    ``chaos.audit`` reporting ``lost > 0``; traces without fault
+    injection never carry either and pass vacuously."""
+
+    name = "no-lost-object"
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        if kind == "object.lost":
+            self.fail(event, index,
+                      f"object {event.get('oid')} lost its last replica "
+                      f"(crash of rank {event.get('rank')})")
+        elif kind == "chaos.audit":
+            lost = event.get("lost")
+            if isinstance(lost, int) and lost > 0:
+                self.fail(event, index,
+                          f"audit found {lost} object(s) with zero "
+                          f"replicas")
+
+
+class ReplicationRestoredChecker(Checker):
+    """After the fault plan's repair windows close, replication must
+    converge: the *final* ``chaos.audit`` of the trace has to report
+    zero lost and zero under-replicated objects.  Mid-run audits may
+    legitimately show repair debt (a crash whose recovery transfer is
+    still flowing); only failing to ever recover is a violation.
+    Traces without audits pass vacuously."""
+
+    name = "replication-restored-after-repair"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: Optional[Tuple[int, TraceEvent]] = None
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        if event.get("kind") == "chaos.audit":
+            self._last = (index, event)
+
+    def finish(self) -> None:
+        if self._last is None:
+            return
+        index, event = self._last
+        under = event.get("under_replicated")
+        lost = event.get("lost")
+        problems = []
+        if isinstance(lost, int) and lost > 0:
+            problems.append(f"{lost} lost")
+        if isinstance(under, int) and under > 0:
+            problems.append(f"{under} under-replicated")
+        if problems:
+            self.fail(event, index,
+                      f"final audit still shows {', '.join(problems)} "
+                      f"object(s): replication was not restored after "
+                      f"repair")
+
+
+class DirtyAckChecker(Checker):
+    """Crash-consistency of the dirty table: once acknowledged
+    transfers are in play (a ``transfer.start`` has been seen), a
+    ``dirty.remove`` is legal only for an oid some ``transfer.ack``
+    has covered — an interrupted transfer must leave its entries
+    intact for the retry.  Traces predating the transfer layer (no
+    ``transfer.start``) pass vacuously."""
+
+    name = "dirty-entry-cleared-only-on-ack"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._grounded = False
+        self._acked: Set[int] = set()
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        if kind == "transfer.start":
+            self._grounded = True
+        elif kind == "transfer.ack":
+            for oid in event.get("oids") or ():
+                self._acked.add(oid)
+        elif kind == "dirty.remove" and self._grounded:
+            oid = event.get("oid")
+            if oid not in self._acked:
+                self.fail(event, index,
+                          f"dirty entry for object {oid} removed "
+                          f"without an acknowledged transfer covering "
+                          f"it")
+
+
 # ----------------------------------------------------------------------
 # the suite
 # ----------------------------------------------------------------------
@@ -320,6 +430,9 @@ def default_checkers() -> List[Checker]:
         BandwidthCapChecker(),
         FlowAccountingChecker(),
         MachineHourChecker(),
+        NoLostObjectChecker(),
+        ReplicationRestoredChecker(),
+        DirtyAckChecker(),
     ]
 
 

@@ -28,9 +28,24 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.obs.runtime import OBS
 
-__all__ = ["FlowSpec", "max_min_fair"]
+__all__ = ["FlowSpec", "max_min_fair", "apply_capacity_factors"]
 
 Resource = Hashable
+
+
+def apply_capacity_factors(
+    capacities: Mapping[Resource, float],
+    factors: Mapping[Resource, float],
+) -> Dict[Resource, float]:
+    """Scale per-resource capacities by degradation factors — the hook
+    transient disk-bandwidth faults use to slow a server down for a
+    window.  A missing factor means 1.0 (healthy); factors clamp at 0
+    (a fully stalled disk freezes its flows, which ``max_min_fair``
+    already handles)."""
+    if not factors:
+        return dict(capacities)
+    return {res: cap * max(0.0, factors.get(res, 1.0))
+            for res, cap in capacities.items()}
 
 
 @dataclass

@@ -110,6 +110,17 @@ class Simulator:
     def pending(self) -> int:
         return sum(1 for ev in self._heap if not ev.cancelled)
 
+    def clear(self) -> int:
+        """Cancel every pending event (teardown / preemption of a whole
+        schedule, e.g. abandoning an armed fault plan).  Returns how
+        many live events were cancelled."""
+        cancelled = 0
+        for ev in self._heap:
+            if not ev.cancelled:
+                ev.cancel()
+                cancelled += 1
+        return cancelled
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None."""
         while self._heap and self._heap[0].cancelled:

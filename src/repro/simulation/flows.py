@@ -11,8 +11,16 @@ live flows and advances them tick by tick against a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+)
 
 from repro.obs.runtime import OBS
 from repro.simulation.bandwidth import FlowSpec, max_min_fair
@@ -39,6 +47,17 @@ class FluidFlow:
         ``inf`` = elastic.
     on_complete:
         Callback fired when a finite flow drains.
+    ranks:
+        Server ranks this transfer *depends on* (sources and
+        destinations).  A fault that takes one of them out — crash,
+        link loss — preempts the flow via
+        :meth:`FlowSet.interrupt_involving`.  Empty = uninterruptible
+        (client streams survive membership changes; their
+        coefficients are just re-pointed).
+    on_interrupt:
+        Callback fired when the flow is preempted (after the flow has
+        been removed from its set); the transfer layer re-enqueues the
+        work here.
     """
 
     name: str
@@ -46,6 +65,8 @@ class FluidFlow:
     total_bytes: Optional[float] = None
     rate_cap: float = math.inf
     on_complete: Optional[Callable[["FluidFlow"], None]] = None
+    ranks: FrozenSet[Hashable] = field(default_factory=frozenset)
+    on_interrupt: Optional[Callable[["FluidFlow"], None]] = None
 
     #: Bytes moved so far (at the flow's logical rate).
     progressed: float = 0.0
@@ -109,6 +130,43 @@ class FlowSet:
                      nbytes=flow.progressed)
         if flow.span is not None:
             flow.span.end(status="cancelled")
+
+    def interrupt(self, flow: FluidFlow, reason: str = "fault") -> float:
+        """Preempt a transfer mid-flight (a fault hit one of its
+        servers): the flow leaves the set, its partial progress is
+        accounted as *wasted* work (the bytes must be re-sent — state
+        only commits on completion), and ``on_interrupt`` fires so the
+        owner can re-enqueue the transfer.  Returns the wasted bytes.
+        """
+        self._flows.remove(flow)
+        wasted = flow.progressed
+        OBS.metrics.inc("flows.interrupted")
+        OBS.metrics.inc("flows.wasted_bytes", wasted)
+        bus = OBS.bus
+        if bus.active:
+            bus.emit("flow.interrupt", name=flow.name,
+                     span_id=(flow.span.span_id
+                              if flow.span is not None else None),
+                     nbytes=wasted, reason=reason)
+        if flow.span is not None:
+            flow.span.end(status="interrupted", reason=reason)
+        if flow.on_interrupt is not None:
+            flow.on_interrupt(flow)
+        return wasted
+
+    def involving(self, rank: Hashable) -> List[FluidFlow]:
+        """Live flows that depend on *rank* (declared via
+        :attr:`FluidFlow.ranks`)."""
+        return [f for f in self._flows if rank in f.ranks]
+
+    def interrupt_involving(self, rank: Hashable,
+                            reason: str = "fault") -> float:
+        """Preempt every transfer that depends on *rank*; returns the
+        total wasted bytes."""
+        wasted = 0.0
+        for flow in self.involving(rank):
+            wasted += self.interrupt(flow, reason=reason)
+        return wasted
 
     def __len__(self) -> int:
         return len(self._flows)

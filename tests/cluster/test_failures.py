@@ -131,3 +131,36 @@ class TestFailureDuringReducedPower:
         cluster.run_selective_reintegration()
         assert cluster.ech.dirty.is_empty()
         assert cluster.verify_replication() == []
+
+
+class TestRepairGuard:
+    """A repair must not race an in-flight transfer that still touches
+    the rank (the fault-injection layer pins endpoints via
+    ``acquire_ranks``)."""
+
+    def test_repair_rejected_while_rank_pinned(self, cluster):
+        cluster.crash_server(7)
+        cluster.acquire_ranks({7, 3})
+        with pytest.raises(RuntimeError, match="in-flight"):
+            cluster.repair_server(7)
+        # The failed rank is still failed: nothing was half-applied.
+        assert 7 in cluster.ech.failed
+        cluster.release_ranks({7, 3})
+        cluster.repair_server(7)
+        assert 7 not in cluster.ech.failed
+
+    def test_pins_are_refcounted(self, cluster):
+        cluster.crash_server(7)
+        cluster.acquire_ranks({7})
+        cluster.acquire_ranks({7})
+        cluster.release_ranks({7})
+        with pytest.raises(RuntimeError, match="1 in-flight"):
+            cluster.repair_server(7)
+        cluster.release_ranks({7})
+        cluster.repair_server(7)
+
+    def test_unpinned_ranks_unaffected(self, cluster):
+        cluster.crash_server(7)
+        cluster.acquire_ranks({3, 5})       # transfer elsewhere
+        cluster.repair_server(7)            # fine
+        assert 7 not in cluster.ech.failed

@@ -72,3 +72,33 @@ class TestTimeEstimates:
     def test_bytes_per_destination_sums_to_total(self, loaded_original10):
         plan = plan_departure_recovery(loaded_original10, 10)
         assert sum(plan.bytes_per_destination().values()) == plan.total_bytes
+
+
+class TestRateGuard:
+    """A degraded-bandwidth fault can drive a capacity to zero; the
+    estimators must reject it with a clear error instead of dividing
+    by it."""
+
+    @pytest.mark.parametrize("bandwidth", [
+        0, 0.0, -1.0, -100e6, float("nan"), float("inf"), "fast", None,
+    ])
+    def test_bad_bandwidth_rejected(self, loaded_original10, bandwidth):
+        plan = plan_departure_recovery(loaded_original10, 10)
+        with pytest.raises(ValueError, match="per_server_bandwidth"):
+            plan.estimated_seconds(bandwidth)
+        with pytest.raises(ValueError, match="per_server_bandwidth"):
+            plan.serialized_seconds(bandwidth)
+
+    @pytest.mark.parametrize("fraction", [
+        0.0, -0.5, 1.5, float("nan"), float("inf"), "half", None,
+    ])
+    def test_bad_fraction_rejected(self, loaded_original10, fraction):
+        plan = plan_departure_recovery(loaded_original10, 10)
+        with pytest.raises(ValueError, match="fraction_for_recovery"):
+            plan.estimated_seconds(100e6, fraction)
+        with pytest.raises(ValueError, match="fraction_for_recovery"):
+            plan.serialized_seconds(100e6, fraction)
+
+    def test_full_fraction_boundary_accepted(self, loaded_original10):
+        plan = plan_departure_recovery(loaded_original10, 10)
+        assert plan.serialized_seconds(100e6, 1.0) > 0

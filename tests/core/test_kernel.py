@@ -279,3 +279,53 @@ class TestTraceIdentity:
         s_off, t_off = run(False)
         assert s_on == s_off
         assert t_on == t_off
+
+
+class TestFaultInvalidation:
+    """Fault-driven membership changes (crash, repair) must drop every
+    memoized slot table — a stale table must never serve a placement."""
+
+    def test_mark_failed_drops_tables_and_counts(self):
+        ech = ElasticConsistentHash(n=8, replicas=2, B=100)
+        ech.locate_bulk(range(50))
+        assert ech._kernel.cached_tables
+        before = OBS.metrics.counter("kernel.invalidations").value
+        ech.mark_failed(5)
+        assert ech._kernel.cached_tables == ()
+        assert OBS.metrics.counter("kernel.invalidations").value \
+            == before + 1
+
+    def test_mark_repaired_drops_tables(self):
+        ech = ElasticConsistentHash(n=8, replicas=2, B=100)
+        ech.mark_failed(5)
+        ech.locate_bulk(range(50))
+        assert ech._kernel.cached_tables
+        ech.mark_repaired(5)
+        assert ech._kernel.cached_tables == ()
+
+    def test_stale_table_never_served_after_crash(self):
+        """The warm pre-crash cache must not leak the failed rank into
+        any post-crash placement."""
+        ech = ElasticConsistentHash(n=8, replicas=2, B=100)
+        oids = range(500)
+        warm = ech.locate_bulk(oids)
+        victim = 3
+        assert (warm.servers == victim).any()   # cache knew the rank
+        ech.mark_failed(victim)
+        got = ech.locate_bulk(oids)
+        assert not (got.servers[got.ok] == victim).any()
+        for oid in range(0, 500, 50):           # scalar path agrees
+            assert ech.locate(oid) == reference(ech, oid, None)
+
+    def test_repaired_rank_stays_out_until_resize(self):
+        ech = ElasticConsistentHash(n=8, replicas=2, B=100)
+        ech.mark_failed(5)
+        ech.locate_bulk(range(100))
+        ech.mark_repaired(5)
+        got = ech.locate_bulk(range(100))
+        # Repair returns the rank to the chain powered-off: placements
+        # keep excluding it until set_active brings it back.
+        assert not (got.servers[got.ok] == 5).any()
+        ech.set_active(8)
+        back = ech.locate_bulk(range(500))
+        assert (back.servers[back.ok] == 5).any()

@@ -1,0 +1,126 @@
+"""Fault plans: validation, JSON round-trip, seeded generation."""
+
+import pytest
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+class TestFaultEvent:
+    def test_crash_requires_repair_window(self):
+        with pytest.raises(ValueError, match="repair_after"):
+            FaultEvent(kind="crash", time=1.0, rank=3)
+
+    def test_crash_ok(self):
+        e = FaultEvent(kind="crash", time=1.0, rank=3, repair_after=5.0)
+        assert e.rank == 3 and e.repair_after == 5.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="meteor", time=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(kind="crash", time=-1.0, rank=1, repair_after=1.0)
+
+    def test_slow_disk_needs_factor_below_one(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(kind="slow_disk", time=0.0, rank=1,
+                       duration=5.0, factor=1.5)
+
+    def test_link_loss_endpoints_must_differ(self):
+        with pytest.raises(ValueError, match="differ"):
+            FaultEvent(kind="link_loss", time=0.0, rank=2, peer=2,
+                       duration=1.0)
+
+    def test_unknown_trigger_rejected(self):
+        with pytest.raises(ValueError, match="trigger"):
+            FaultEvent(kind="crash", time=0.0, rank=1, repair_after=1.0,
+                       trigger="full-moon")
+
+    def test_dict_round_trip_drops_nones(self):
+        e = FaultEvent(kind="slow_disk", time=2.0, rank=4,
+                       duration=10.0, factor=0.5)
+        d = e.to_dict()
+        assert "peer" not in d and "repair_after" not in d
+        assert FaultEvent.from_dict(d) == e
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault-event"):
+            FaultEvent.from_dict({"kind": "crash", "time": 0.0,
+                                  "rank": 1, "repair_after": 1.0,
+                                  "severity": "high"})
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan.three_phase_default(seed=11)
+        path = tmp_path / "plan.json"
+        plan.dump(str(path))
+        loaded = FaultPlan.load(str(path))
+        assert loaded.seed == 11
+        assert loaded.events == plan.events
+
+    def test_from_json_rejects_non_plan(self):
+        with pytest.raises(ValueError, match="events"):
+            FaultPlan.from_json("[1, 2, 3]")
+
+    def test_check_ranks(self):
+        plan = FaultPlan([FaultEvent(kind="crash", time=0.0, rank=12,
+                                     repair_after=1.0)])
+        with pytest.raises(ValueError, match="rank 12"):
+            plan.check_ranks(10)
+        plan.check_ranks(12)  # fine at n=12
+
+    def test_timed_vs_triggered_split(self):
+        plan = FaultPlan.three_phase_default(seed=3)
+        assert not plan.timed()          # all curated events triggered
+        assert plan.triggered("reintegration")
+        assert len(plan.triggered("phase2")) == 1
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.generate(seed=5, n=10, duration=300.0)
+        b = FaultPlan.generate(seed=5, n=10, duration=300.0)
+        assert a.events == b.events
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.generate(seed=5, n=10, duration=300.0)
+        b = FaultPlan.generate(seed=6, n=10, duration=300.0)
+        assert a.events != b.events
+
+    def test_crashes_never_overlap(self):
+        """Each crash repairs before the next one lands, so two
+        overlapping outages can never eat both replicas."""
+        plan = FaultPlan.generate(seed=9, n=10, duration=600.0,
+                                  crashes=4)
+        crashes = sorted((e for e in plan if e.kind == "crash"),
+                         key=lambda e: e.time)
+        for prev, nxt in zip(crashes, crashes[1:]):
+            assert prev.time + prev.repair_after < nxt.time
+
+    def test_generated_events_validate_against_n(self):
+        plan = FaultPlan.generate(seed=2, n=6, duration=120.0,
+                                  crashes=2, slow_disks=2, link_losses=2)
+        plan.check_ranks(6)
+        assert len(plan) == 6
+
+    def test_default_default_plan_spares_rank_one(self):
+        for seed in range(20):
+            plan = FaultPlan.generate(seed=seed, n=10, duration=200.0)
+            assert all(e.rank != 1 for e in plan if e.kind == "crash")
+
+
+class TestThreePhaseDefault:
+    def test_crash_targets_a_repowered_secondary(self):
+        for seed in range(10):
+            plan = FaultPlan.three_phase_default(seed, n=10, off_count=4)
+            crash = next(e for e in plan if e.kind == "crash")
+            assert crash.rank in range(7, 11)
+            assert crash.trigger == "reintegration"
+            assert crash.repair_after > 0
+
+    def test_deterministic(self):
+        a = FaultPlan.three_phase_default(7)
+        b = FaultPlan.three_phase_default(7)
+        assert a.events == b.events

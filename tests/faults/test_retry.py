@@ -1,0 +1,59 @@
+"""Retry policy: backoff shape, deterministic jitter, quarantine
+threshold."""
+
+import pytest
+
+from repro.faults.retry import RetryPolicy
+
+
+class TestBackoff:
+    def test_exponential_then_capped(self):
+        p = RetryPolicy(base_delay=1.0, factor=2.0, max_delay=5.0,
+                        jitter=0.0)
+        assert [p.delay(a) for a in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_attempt_is_one_based(self):
+        p = RetryPolicy(jitter=0.0)
+        with pytest.raises(ValueError):
+            p.delay(0)
+
+    def test_jitter_shaves_at_most_the_fraction(self):
+        p = RetryPolicy(base_delay=2.0, factor=1.0, max_delay=2.0,
+                        jitter=0.25, seed=1)
+        for attempt in range(1, 8):
+            d = p.delay(attempt, key="x")
+            assert 2.0 * 0.75 <= d <= 2.0
+
+    def test_jitter_deterministic_per_key_and_attempt(self):
+        p = RetryPolicy(jitter=0.5, seed=3)
+        assert p.delay(2, "a") == p.delay(2, "a")
+        assert p.delay(2, "a") != p.delay(3, "a")
+        assert p.delay(2, "a") != p.delay(2, "b")
+
+    def test_seed_namespaces_jitter(self):
+        a = RetryPolicy(jitter=0.5, seed=1)
+        b = RetryPolicy(jitter=0.5, seed=2)
+        assert a.delay(1, "k") != b.delay(1, "k")
+
+
+class TestExhaustion:
+    def test_threshold(self):
+        p = RetryPolicy(max_attempts=3)
+        assert not p.exhausted(2)
+        assert p.exhausted(3)
+        assert p.exhausted(4)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"base_delay": 0.0},
+        {"base_delay": float("nan")},
+        {"factor": 0.5},
+        {"max_delay": 0.1},          # < base_delay
+        {"max_attempts": 0},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

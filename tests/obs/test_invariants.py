@@ -9,11 +9,14 @@ from repro.cli import main
 from repro.obs.invariants import (
     BandwidthCapChecker,
     CheckerSink,
+    DirtyAckChecker,
     DirtyDisciplineChecker,
     FlowAccountingChecker,
     InvariantSuite,
     MachineHourChecker,
+    NoLostObjectChecker,
     PoweredMoveChecker,
+    ReplicationRestoredChecker,
     VersionMonotonicChecker,
     check_events,
 )
@@ -232,3 +235,89 @@ class TestSeededFault:
         assert "powered-move" in out
         assert f"rank {off_rank}" in out
         assert f"line {idx + 2}" in out     # 1-based JSONL line number
+
+
+class TestNoLostObject:
+    def test_object_lost_event_trips(self):
+        violations = run_checker(NoLostObjectChecker(), [
+            {"kind": "object.lost", "t": 5.0, "oid": 42, "rank": 3},
+        ])
+        assert len(violations) == 1
+        assert "object 42" in violations[0].message
+
+    def test_audit_with_lost_trips(self):
+        violations = run_checker(NoLostObjectChecker(), [
+            {"kind": "chaos.audit", "t": 10.0, "lost": 2,
+             "under_replicated": 0},
+        ])
+        assert len(violations) == 1
+
+    def test_healthy_audits_pass(self):
+        assert run_checker(NoLostObjectChecker(), [
+            {"kind": "chaos.audit", "t": 10.0, "lost": 0,
+             "under_replicated": 5},
+        ]) == []
+
+    def test_vacuous_without_grounding_events(self):
+        assert run_checker(NoLostObjectChecker(), [
+            {"kind": "flow.start", "t": 0.0, "name": "client"},
+        ]) == []
+
+
+class TestReplicationRestored:
+    def test_final_audit_under_replicated_trips(self):
+        violations = run_checker(ReplicationRestoredChecker(), [
+            {"kind": "chaos.audit", "t": 10.0, "lost": 0,
+             "under_replicated": 3},
+        ])
+        assert len(violations) == 1
+        assert "3 under-replicated" in violations[0].message
+
+    def test_only_the_last_audit_counts(self):
+        # Mid-run repair debt is legal; convergence by the end is what
+        # matters.
+        assert run_checker(ReplicationRestoredChecker(), [
+            {"kind": "chaos.audit", "t": 10.0, "lost": 1,
+             "under_replicated": 90},
+            {"kind": "chaos.audit", "t": 60.0, "lost": 0,
+             "under_replicated": 0},
+        ]) == []
+
+    def test_vacuous_without_audits(self):
+        assert run_checker(ReplicationRestoredChecker(), [
+            {"kind": "version.advance", "t": 0.0, "version": 2},
+        ]) == []
+
+
+class TestDirtyAck:
+    def test_remove_without_ack_trips(self):
+        violations = run_checker(DirtyAckChecker(), [
+            {"kind": "transfer.start", "t": 1.0, "key": "r:1"},
+            {"kind": "dirty.remove", "t": 2.0, "oid": 7, "version": 3},
+        ])
+        assert len(violations) == 1
+        assert "object 7" in violations[0].message
+
+    def test_remove_after_covering_ack_passes(self):
+        assert run_checker(DirtyAckChecker(), [
+            {"kind": "transfer.start", "t": 1.0, "key": "r:1"},
+            {"kind": "transfer.ack", "t": 2.0, "key": "r:1",
+             "oids": [7, 8]},
+            {"kind": "dirty.remove", "t": 2.0, "oid": 7, "version": 3},
+        ]) == []
+
+    def test_ack_for_other_object_does_not_cover(self):
+        violations = run_checker(DirtyAckChecker(), [
+            {"kind": "transfer.start", "t": 1.0, "key": "r:1"},
+            {"kind": "transfer.ack", "t": 2.0, "key": "r:1",
+             "oids": [8]},
+            {"kind": "dirty.remove", "t": 2.0, "oid": 7, "version": 3},
+        ])
+        assert len(violations) == 1
+
+    def test_vacuous_before_transfer_layer(self):
+        # Traces from the plain three-phase driver remove dirty entries
+        # without any transfer events: grounded only by transfer.start.
+        assert run_checker(DirtyAckChecker(), [
+            {"kind": "dirty.remove", "t": 2.0, "oid": 7, "version": 3},
+        ]) == []

@@ -45,6 +45,31 @@ class TestCommands:
         assert "peak throughput" in out
         assert "migrated" in out
 
+    def test_chaos(self, capsys):
+        assert main(["chaos", "--seed", "7", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "# chaos report" in out
+        assert "## fault timeline" in out
+        assert "verdict: **OK**" in out
+
+    def test_chaos_plan_file(self, tmp_path, capsys):
+        from repro.faults import FaultPlan
+        path = tmp_path / "plan.json"
+        FaultPlan.three_phase_default(seed=3).dump(str(path))
+        assert main(["chaos", "--scale", "0.05",
+                     "--plan", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: **OK**" in out
+
+    def test_chaos_plan_rejecting_ranks_is_clean_error(self, tmp_path,
+                                                       capsys):
+        from repro.faults import FaultPlan
+        path = tmp_path / "plan.json"
+        FaultPlan.three_phase_default(seed=3, n=25, off_count=8).dump(
+            str(path))
+        with pytest.raises(SystemExit):
+            main(["chaos", "--n", "10", "--plan", str(path)])
+
     def test_fig5(self, capsys):
         assert main(["fig5", "--objects-v1", "2000",
                      "--objects-v2", "2500"]) == 0

@@ -62,6 +62,11 @@ SURFACE = {
         "read_capacity", "proportionality_curve", "render_table",
         "render_series",
     ],
+    "repro.faults": [
+        "FaultEvent", "FaultPlan", "FaultInjector", "RetryPolicy",
+        "PlannedTransfer", "TransferJob", "TransferManager",
+        "ChaosResult", "run_chaos", "render_chaos_report",
+    ],
     "repro.cli": ["main", "build_parser"],
 }
 
