@@ -5,25 +5,48 @@ accidentally favour one policy.  This bench regenerates the CC-a trace
 under several seeds and checks that the paper's qualitative claims —
 ordering and regime — hold for every one of them; the report shows the
 spread.
+
+The per-seed runs are independent, so they go through
+:class:`repro.runner.SweepRunner`: one task per seed, fanned across a
+process pool (``REPRO_SWEEP_WORKERS`` overrides the pool size), results
+merged by task id so the numbers are identical at any worker count.
 """
 
+import os
+import tempfile
+
 from _bench_utils import emit_report, once
-from repro.experiments import run_trace_analysis
 from repro.metrics.report import render_table
+from repro.runner import SweepRunner, TaskSpec
 
 SEEDS = (11, 23, 47, 89, 131)
 POLICIES = ("original-ch", "primary-full", "primary-selective")
 
 
-def bench_robustness_seeds(benchmark):
-    results = once(benchmark,
-                   lambda: {seed: run_trace_analysis("CC-a", seed=seed)
-                            for seed in SEEDS})
+def _workers() -> int:
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env:
+        return max(1, int(env))
+    return min(4, os.cpu_count() or 1)
 
-    rows = []
-    for seed, exp in results.items():
-        rel = exp.table2_row()
-        rows.append([seed] + [round(rel[p], 3) for p in POLICIES])
+
+def _run_sweep():
+    specs = [TaskSpec(task_id=f"cc-a-s{seed:03d}", kind="trace",
+                      seed=seed, config={"which": "CC-a"})
+             for seed in SEEDS]
+    with tempfile.TemporaryDirectory(prefix="robustness-sweep-") as out:
+        result = SweepRunner(workers=_workers()).run(specs, out)
+        assert result.ok, f"sweep degraded: {result.counts}"
+        return {task.spec.seed:
+                task.outcome["summary"]["relative_machine_hours"]
+                for task in result.tasks}
+
+
+def bench_robustness_seeds(benchmark):
+    rels = once(benchmark, _run_sweep)
+
+    rows = [[seed] + [round(rel[p], 3) for p in POLICIES]
+            for seed, rel in rels.items()]
     spread = {
         p: (min(r[i + 1] for r in rows), max(r[i + 1] for r in rows))
         for i, p in enumerate(POLICIES)
@@ -37,8 +60,7 @@ def bench_robustness_seeds(benchmark):
             f"{p} [{lo:.2f}, {hi:.2f}]" for p, (lo, hi) in spread.items())]
     emit_report("robustness_seeds", "\n".join(lines))
 
-    for seed, exp in results.items():
-        rel = exp.table2_row()
+    for seed, rel in rels.items():
         assert (rel["primary-selective"] < rel["primary-full"]
                 < rel["original-ch"]), f"ordering broke at seed {seed}"
         assert all(1.0 <= v < 2.5 for v in rel.values()), seed

@@ -9,6 +9,7 @@
     python -m repro chaos --seed 7 --scale 0.25
     python -m repro fig5
     python -m repro trace --which CC-a
+    python -m repro sweep --kind chaos --seeds 0,1,2,3 --workers 4 --out sweep-out
     python -m repro stats run.jsonl --kind migration. --top 5
     python -m repro check run.jsonl
     python -m repro report run.jsonl
@@ -41,6 +42,7 @@ and the reports remain embeddable (tests, notebooks, benchmarks).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -65,6 +67,7 @@ from repro.obs.invariants import CheckerSink
 from repro.obs.report import render_check, render_run_report
 from repro.obs.stats import render_trace_stats
 from repro.obs.trace import TraceParseError
+from repro.runner import SweepRunner, TaskSpec, render_sweep_report
 
 __all__ = ["main", "build_parser"]
 
@@ -141,6 +144,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--which", default="CC-a", choices=["CC-a", "CC-b"])
     p.add_argument("--seed", type=int, default=None)
     _add_obs_flags(p)
+
+    p = sub.add_parser("sweep",
+                       help="fan independent seeded runs across a "
+                            "process pool; the aggregate report is "
+                            "byte-identical for any --workers count; "
+                            "exit 1 on any unhealthy run")
+    p.add_argument("--kind", default="chaos",
+                   choices=["chaos", "trace", "three-phase"],
+                   help="experiment kind run once per seed")
+    p.add_argument("--seeds", default="0,1,2,3", metavar="S1,S2,...",
+                   help="comma-separated seed list; one task per seed")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="process-pool size (default: cpu count)")
+    p.add_argument("--out", metavar="DIR", default="sweep-out",
+                   help="output directory: per-task run dirs plus "
+                        "sweep.json / merged.jsonl / run_info.json")
+    p.add_argument("--plan", metavar="PLAN.json", default=None,
+                   help="fault plan applied to every chaos task "
+                        "(instead of generating one per seed)")
+    p.add_argument("--timeout", type=float, default=None, metavar="T",
+                   help="per-task wall-clock budget in seconds; an "
+                        "overrunning task is retried like a crash")
+    p.add_argument("--n", type=int, default=10,
+                   help="chaos: cluster size")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="chaos: replication factor")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="chaos / three-phase: workload scale")
+    p.add_argument("--off-count", type=int, default=4,
+                   help="chaos: servers powered down after phase 1")
+    p.add_argument("--which", default="CC-a", choices=["CC-a", "CC-b"],
+                   help="trace: which synthetic trace to regenerate")
+    p.add_argument("--mode", default="selective",
+                   choices=["none", "original", "full", "selective"],
+                   help="three-phase: re-integration mode")
+    p.add_argument("--since", type=float, default=None, metavar="T",
+                   help="aggregate: count per-task events at "
+                        "simulation time >= T seconds")
+    p.add_argument("--until", type=float, default=None, metavar="T",
+                   help="aggregate: count per-task events at "
+                        "simulation time <= T seconds")
 
     p = sub.add_parser("stats",
                        help="summarise a JSONL trace written by --trace-out")
@@ -289,10 +333,59 @@ def _cmd_trace(args) -> str:
     ])
 
 
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"repro sweep: bad --seeds {text!r} "
+                         f"(expected comma-separated integers)")
+    if not seeds:
+        raise SystemExit("repro sweep: --seeds is empty")
+    if len(set(seeds)) != len(seeds):
+        raise SystemExit(f"repro sweep: duplicate seed in --seeds {text!r}")
+    return seeds
+
+
+def _cmd_sweep(args):
+    # Returns (report, exit_code): 0 iff every task ran and is healthy.
+    seeds = _parse_seeds(args.seeds)
+    plan_json = None
+    if args.plan:
+        try:
+            plan_json = FaultPlan.load(args.plan).to_json()
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro sweep: bad --plan file: {exc}")
+    if args.kind == "chaos":
+        config = {"n": args.n, "replicas": args.replicas,
+                  "scale": args.scale, "off_count": args.off_count}
+    elif args.kind == "trace":
+        config = {"which": args.which}
+    else:
+        config = {"mode": args.mode, "scale": args.scale}
+    try:
+        specs = [TaskSpec(task_id=f"{args.kind}-s{seed:03d}",
+                          kind=args.kind, seed=seed, config=config,
+                          plan=plan_json)
+                 for seed in seeds]
+        runner = SweepRunner(
+            workers=args.workers or os.cpu_count() or 1,
+            task_timeout=args.timeout,
+            since=args.since, until=args.until)
+        result = runner.run(specs, args.out)
+    except ValueError as exc:
+        raise SystemExit(f"repro sweep: {exc}")
+    return render_sweep_report(result), (0 if result.ok else 1)
+
+
 def _cmd_stats(args) -> str:
-    return render_trace_stats(args.trace_file, kind=args.kind,
-                              since=args.since, until=args.until,
-                              top=args.top)
+    try:
+        return render_trace_stats(args.trace_file, kind=args.kind,
+                                  since=args.since, until=args.until,
+                                  top=args.top)
+    except TraceParseError:
+        raise                      # main() reports these with exit 2
+    except ValueError as exc:
+        raise SystemExit(f"repro stats: {exc}")
 
 
 def _cmd_check(args):
@@ -312,6 +405,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "fig5": _cmd_fig5,
     "trace": _cmd_trace,
+    "sweep": _cmd_sweep,
     "stats": _cmd_stats,
     "check": _cmd_check,
     "report": _cmd_report,

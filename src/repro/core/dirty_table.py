@@ -10,10 +10,15 @@ object was **last written** in — and is consumed FIFO by Algorithm 2,
 As in the paper's implementation (§IV), the table lives in a Redis-like
 key-value store as LIST values: entries enter with RPUSH, are peeked
 with LRANGE during non-full-power re-integration, and are removed with
-LPOP/LREM once re-integrated into a full-power version.  The store is
-sharded across servers (§III-E-2) by hashing the OID, so each shard's
-list stays version-sorted automatically (versions only grow) and the
-global order is recovered with a sort-merge at fetch time.
+LPOP/LREM once re-integrated into a full-power version.  Each object's
+entries live under a per-OID list key (``oid:<oid>``), routed to its
+shard by hashing the OID (§III-E-2); every per-OID list stays
+version-sorted automatically (versions only grow) and the global order
+is recovered with a sort-merge at fetch time.  Because every key is
+routed, the table survives shard-membership changes unharmed:
+:meth:`~repro.kvstore.sharded.ShardedKVStore.add_shard` /
+``remove_shard`` migrate the remapped lists wholesale and the routed
+accessors simply follow the new ring.
 """
 
 from __future__ import annotations
@@ -26,7 +31,9 @@ from repro.obs.runtime import OBS
 
 __all__ = ["DirtyEntry", "DirtyTable"]
 
-_LIST_KEY = "dirty"
+#: Per-OID list keys: ``oid:<oid>`` routes all of one object's entries
+#: to a single shard.
+_KEY_PREFIX = "oid:"
 
 
 @dataclass(frozen=True, order=True)
@@ -62,17 +69,22 @@ class DirtyTable:
         self._dedupe = dedupe
         self._index: Set[Tuple[int, int]] = set()
         self._last_version: int = 0
+        self._count: int = 0  # O(1) __len__; mirrors the list lengths
         # Pre-bound: insert is on the per-write hot path.
         self._insert_counter = OBS.metrics.counter("dirty.inserts")
 
     # ------------------------------------------------------------------
-    def _shard_key(self, oid: int) -> str:
-        """Routing key: the shard is chosen by OID so lookups for one
-        object always hit one shard."""
-        return f"oid:{oid}"
+    def _key(self, oid: int) -> str:
+        """The per-OID list key; routing by OID keeps all of one
+        object's entries on a single shard."""
+        return f"{_KEY_PREFIX}{oid}"
 
-    def _store_of(self, oid: int):
-        return self._kv.store_for(self._shard_key(oid))
+    def _oid_keys(self) -> Iterator[str]:
+        """Every per-OID list key, across all shards."""
+        for sid in self._kv.shard_ids:
+            for key in self._kv.shard(sid).keys():
+                if key.startswith(_KEY_PREFIX):
+                    yield key
 
     # ------------------------------------------------------------------
     def insert(self, oid: int, version: int) -> bool:
@@ -92,7 +104,8 @@ class DirtyTable:
         entry = DirtyEntry(version=version, oid=oid)
         if self._dedupe and (version, oid) in self._index:
             return False
-        self._store_of(oid).rpush(_LIST_KEY, entry)
+        self._kv.rpush(self._key(oid), entry)
+        self._count += 1
         self._index.add((version, oid))
         self._last_version = max(self._last_version, version)
         self._insert_counter.inc()
@@ -107,8 +120,7 @@ class DirtyTable:
         return any(o == oid for (_v, o) in self._index)
 
     def __len__(self) -> int:
-        return sum(self._kv.shard(sid).llen(_LIST_KEY)
-                   for sid in self._kv.shard_ids)
+        return self._count
 
     def is_empty(self) -> bool:
         """Algorithm 2's ``isempty_dirty_table()``."""
@@ -122,8 +134,8 @@ class DirtyTable:
         This is the LRANGE path: non-destructive, used while the
         current version is not full power."""
         out: List[DirtyEntry] = []
-        for sid in self._kv.shard_ids:
-            out.extend(self._kv.shard(sid).lrange(_LIST_KEY, 0, -1))
+        for key in self._oid_keys():
+            out.extend(self._kv.lrange(key, 0, -1))
         out.sort()
         OBS.metrics.inc("dirty.fetches")
         OBS.metrics.inc("dirty.fetched_entries", len(out))
@@ -135,8 +147,8 @@ class DirtyTable:
     def head(self) -> Optional[DirtyEntry]:
         """The globally-first entry, or None when empty."""
         best: Optional[DirtyEntry] = None
-        for sid in self._kv.shard_ids:
-            e = self._kv.shard(sid).lindex(_LIST_KEY, 0)
+        for key in self._oid_keys():
+            e = self._kv.lindex(key, 0)
             if e is not None and (best is None or e < best):
                 best = e
         return best
@@ -145,13 +157,14 @@ class DirtyTable:
     def remove(self, entry: DirtyEntry) -> bool:
         """Remove one specific entry (the LPOP/LREM path, taken when
         the entry has been re-integrated into a full-power version)."""
-        store = self._store_of(entry.oid)
-        if store.lindex(_LIST_KEY, 0) == entry:
-            store.lpop(_LIST_KEY)
+        key = self._key(entry.oid)
+        if self._kv.lindex(key, 0) == entry:
+            self._kv.lpop(key)
             removed = 1
         else:
-            removed = store.lrem(_LIST_KEY, 1, entry)
+            removed = self._kv.lrem(key, 1, entry)
         if removed:
+            self._count -= removed
             self._index.discard((entry.version, entry.oid))
             OBS.metrics.inc("dirty.removes")
             if OBS.bus.active:
@@ -163,23 +176,23 @@ class DirtyTable:
         """Remove every entry for *oid* (used when an object is deleted
         or when a newer write supersedes all older dirty entries).
         Returns the number of entries removed."""
-        store = self._store_of(oid)
-        victims = [e for e in store.lrange(_LIST_KEY, 0, -1) if e.oid == oid]
-        removed = 0
+        key = self._key(oid)
+        victims = self._kv.lrange(key, 0, -1)
+        self._kv.delete(key)
+        self._count -= len(victims)
         for e in victims:
-            if store.lrem(_LIST_KEY, 1, e):
-                removed += 1
-                self._index.discard((e.version, e.oid))
-                OBS.metrics.inc("dirty.removes")
-                if OBS.bus.active:
-                    OBS.bus.emit("dirty.remove", oid=e.oid,
-                                 version=e.version)
-        return removed
+            self._index.discard((e.version, e.oid))
+            OBS.metrics.inc("dirty.removes")
+            if OBS.bus.active:
+                OBS.bus.emit("dirty.remove", oid=e.oid,
+                             version=e.version)
+        return len(victims)
 
     def clear(self) -> None:
-        for sid in self._kv.shard_ids:
-            self._kv.shard(sid).delete(_LIST_KEY)
+        for key in list(self._oid_keys()):
+            self._kv.delete(key)
         self._index.clear()
+        self._count = 0
 
     # ------------------------------------------------------------------
     def versions_present(self) -> List[int]:

@@ -10,8 +10,14 @@ cluster membership without rehashing every key.
 Whole-keyspace operations (``keys``, ``dbsize``, ``flushall``) fan out
 to all shards.  A *list* key lives entirely on one shard — Redis LIST
 semantics are per-key, which is exactly what the dirty table needs
-(it shards the table itself into one list per shard, see
+(it keeps one list per object, routed by OID, see
 :class:`repro.core.dirty_table.DirtyTable`).
+
+Shard membership can change at runtime: :meth:`ShardedKVStore.add_shard`
+and :meth:`ShardedKVStore.remove_shard` rebuild the ring and migrate
+**only the remapped keys** — the consistent-hash minimal-movement
+property the whole paper is built on, applied to the metadata store
+itself (§III-E-2's table follows cluster membership).
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ class ShardedKVStore:
             raise ValueError("at least one shard required")
         self._ring = HashRing()
         self._shards: Dict[Hashable, KVStore] = {}
+        self._vnodes_per_shard = vnodes_per_shard
         for sid in shard_ids:
             self._ring.add_server(sid, weight=vnodes_per_shard)
             self._shards[sid] = KVStore()
@@ -63,6 +70,61 @@ class ShardedKVStore:
         """Direct access to one shard's store (used by tests and by the
         dirty table's per-shard scan)."""
         return self._shards[shard_id]
+
+    # ------------------------------------------------------------------
+    # membership — minimal-movement migration
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: Hashable) -> int:
+        """Add an (empty) shard and migrate the keys it now owns.
+
+        Only keys whose ring successor changed move, and by the
+        consistent-hash minimal-movement property every one of them
+        moves *to the new shard* — no key changes hands between the
+        surviving shards.  Returns the number of keys migrated.
+        """
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} already present")
+        self._ring.add_server(shard_id, weight=self._vnodes_per_shard)
+        self._shards[shard_id] = KVStore()
+        moved = 0
+        for sid, store in self._shards.items():
+            if sid == shard_id:
+                continue
+            for key in store.keys():
+                owner = self.shard_for(key)
+                if owner != sid:
+                    self._move_key(key, store, self._shards[owner])
+                    moved += 1
+        return moved
+
+    def remove_shard(self, shard_id: Hashable) -> int:
+        """Drop a shard, migrating every key it held to the shard that
+        now owns it.  Keys on the surviving shards do not move (their
+        ring successor is unchanged).  Returns the number of keys
+        migrated."""
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id!r} not present")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._ring.remove_server(shard_id)
+        source = self._shards.pop(shard_id)
+        moved = 0
+        for key in source.keys():
+            self._move_key(key, source, self.store_for(key))
+            moved += 1
+        return moved
+
+    @staticmethod
+    def _move_key(key: str, source: KVStore, dest: KVStore) -> None:
+        """Copy one key (string or list) between stores, preserving
+        list order, then delete the original."""
+        if source.type_of(key) == "string":
+            dest.set(key, source.get(key))
+        else:
+            values = source.lrange(key, 0, -1)
+            if values:
+                dest.rpush(key, *values)
+        source.delete(key)
 
     # ------------------------------------------------------------------
     # routed commands — same signatures as KVStore

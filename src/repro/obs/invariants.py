@@ -62,6 +62,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.obs.trace import Sink, TraceEvent
 
 __all__ = [
+    "SWEEP_BOUNDARY_KIND",
     "Violation",
     "Checker",
     "InvariantSuite",
@@ -78,6 +79,13 @@ __all__ = [
     "ReplicationRestoredChecker",
     "DirtyAckChecker",
 ]
+
+#: Event kind separating independent runs inside one merged trace
+#: (the sweep runner's ``merged.jsonl``).  The suite finishes the
+#: active checkers and restarts fresh ones at each boundary, so
+#: per-run invariants (version monotonicity, flow accounting, the
+#: final-audit check) never leak across tasks.
+SWEEP_BOUNDARY_KIND = "sweep.task"
 
 
 @dataclass(frozen=True)
@@ -439,6 +447,12 @@ def default_checkers() -> List[Checker]:
 class InvariantSuite:
     """Fan one event stream out to a set of checkers.
 
+    A :data:`SWEEP_BOUNDARY_KIND` event marks the start of a new
+    independent run inside the same stream (a merged sweep trace):
+    the suite runs the active checkers' end-of-stream checks, banks
+    their violations, and restarts with fresh checker instances — so
+    checkers must be constructible with no arguments.
+
     Examples
     --------
     >>> suite = InvariantSuite()
@@ -453,13 +467,24 @@ class InvariantSuite:
     def __init__(self, checkers: Optional[List[Checker]] = None) -> None:
         self.checkers = (checkers if checkers is not None
                          else default_checkers())
+        self._archived: List[Violation] = []
         self._finished = False
         self.events_seen = 0
 
     def observe(self, event: TraceEvent, index: int) -> None:
         self.events_seen += 1
+        if event.get("kind") == SWEEP_BOUNDARY_KIND:
+            self._restart()
+            return
         for checker in self.checkers:
             checker.observe(event, index)
+
+    def _restart(self) -> None:
+        """Close out the current run's checkers and start fresh ones."""
+        for checker in self.checkers:
+            checker.finish()
+            self._archived.extend(checker.violations)
+        self.checkers = [type(checker)() for checker in self.checkers]
 
     def finish(self) -> List[Violation]:
         """Run end-of-stream checks (once) and return all violations,
@@ -472,7 +497,7 @@ class InvariantSuite:
 
     @property
     def violations(self) -> List[Violation]:
-        out: List[Violation] = []
+        out: List[Violation] = list(self._archived)
         for checker in self.checkers:
             out.extend(checker.violations)
         out.sort(key=lambda v: v.index)
@@ -480,7 +505,7 @@ class InvariantSuite:
 
     @property
     def ok(self) -> bool:
-        return all(c.ok for c in self.checkers)
+        return not self._archived and all(c.ok for c in self.checkers)
 
 
 def check_events(events: Iterable[TraceEvent],

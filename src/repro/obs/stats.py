@@ -20,7 +20,34 @@ from typing import Dict, List, Optional, Sequence
 from repro.metrics.report import render_table
 from repro.obs.trace import TraceEvent, read_jsonl
 
-__all__ = ["TraceSummary", "summarize_trace", "render_trace_stats"]
+__all__ = [
+    "TraceSummary",
+    "summarize_trace",
+    "render_trace_stats",
+    "check_window",
+    "is_number",
+]
+
+
+def is_number(value: object) -> bool:
+    """Is *value* a usable numeric field (timestamp, byte count,
+    duration)?  Excludes ``bool`` explicitly: ``True`` is an ``int``
+    in Python, so a malformed trace with ``"t": true`` would otherwise
+    slip through the window filter as ``t == 1``."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_window(since: Optional[float], until: Optional[float]) -> None:
+    """Validate a ``[since, until]`` simulation-time window.
+
+    Raises :class:`ValueError` when the window is inverted — silently
+    matching nothing has masked more than one typo'd command line.
+    """
+    if since is not None and until is not None and since > until:
+        raise ValueError(
+            f"empty time window: --since {since:g} is after "
+            f"--until {until:g} (since must be <= until)")
+
 
 #: Event fields that carry a byte volume, in display priority order.
 _BYTE_FIELDS = ("nbytes", "bytes", "total_bytes", "bytes_migrated")
@@ -49,7 +76,7 @@ class TraceSummary:
             row = [0, None, None, 0.0, 0.0]
             self.kinds[kind] = row
         row[0] += 1
-        if isinstance(t, (int, float)):
+        if is_number(t):
             if self.t_min is None or t < self.t_min:
                 self.t_min = float(t)
             if self.t_max is None or t > self.t_max:
@@ -60,12 +87,12 @@ class TraceSummary:
                 row[2] = float(t)
         for field in _BYTE_FIELDS:
             v = event.get(field)
-            if isinstance(v, (int, float)):
+            if is_number(v):
                 row[3] += float(v)
                 break
         for field in _DURATION_FIELDS:
             v = event.get(field)
-            if isinstance(v, (int, float)):
+            if is_number(v):
                 row[4] += float(v)
                 break
 
@@ -87,9 +114,11 @@ def render_trace_stats(path: str, kind: Optional[str] = None,
     trailing dot, sharing its prefix (``migration.``).  *since* /
     *until* keep only events whose simulation time falls in
     ``[since, until]`` (events without a numeric ``t`` are dropped by
-    either bound).  *top* sorts the kinds by byte total descending and
-    keeps the first N (default: every kind, name-sorted).
+    either bound; an inverted window raises :class:`ValueError`).
+    *top* sorts the kinds by byte total descending and keeps the first
+    N (default: every kind, name-sorted).
     """
+    check_window(since, until)
     events = read_jsonl(path)
     if kind is not None:
         if kind.endswith("."):
@@ -100,7 +129,7 @@ def render_trace_stats(path: str, kind: Optional[str] = None,
     if since is not None or until is not None:
         def _in_window(e: TraceEvent) -> bool:
             t = e.get("t")
-            if not isinstance(t, (int, float)):
+            if not is_number(t):
                 return False
             return ((since is None or t >= since)
                     and (until is None or t <= until))

@@ -1,0 +1,460 @@
+"""The process-pool sweep runner with deterministic aggregation.
+
+A *sweep* is a set of independent seeded runs — exactly the shape of
+the paper's §V evaluation grids (multi-seed robustness checks, the
+chaos property matrix, the four-policy trace analyses).  The runner
+fans the tasks across a ``concurrent.futures.ProcessPoolExecutor`` and
+merges results **by task id, never by completion order**, so the
+aggregate report is byte-identical for ``--workers 1`` and
+``--workers N``:
+
+* every task captures its own JSONL trace, metrics snapshot and
+  outcome into ``<out>/<task_id>/`` (see :mod:`repro.runner.worker`);
+* the aggregate ``sweep.json`` contains only simulation-derived
+  values, dumped with sorted keys in task-id order — wall-clock
+  timings and worker counts live in the separate ``run_info.json``,
+  which is *not* part of the deterministic surface;
+* ``merged.jsonl`` concatenates the per-task traces in task-id order,
+  separated by ``sweep.task`` boundary events that
+  :class:`~repro.obs.invariants.InvariantSuite` recognises — so
+  ``repro check merged.jsonl`` validates every run in one pass.
+
+Failure handling reuses :class:`~repro.faults.retry.RetryPolicy`: a
+task that raises, times out, or takes its worker process down with it
+is re-enqueued with deterministic backoff until the policy's launch
+budget is spent, after which it is surfaced as a *failed* task in the
+report — never silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.retry import RetryPolicy
+from repro.obs.invariants import SWEEP_BOUNDARY_KIND
+from repro.obs.stats import check_window, is_number
+from repro.obs.trace import read_jsonl
+from repro.runner import worker as worker_mod
+from repro.runner.spec import TaskSpec
+
+__all__ = [
+    "SweepRunner",
+    "SweepResult",
+    "TaskResult",
+    "render_sweep_report",
+    "AGGREGATE_FILENAME",
+    "MERGED_TRACE_FILENAME",
+    "RUN_INFO_FILENAME",
+]
+
+AGGREGATE_FILENAME = "sweep.json"
+MERGED_TRACE_FILENAME = "merged.jsonl"
+RUN_INFO_FILENAME = "run_info.json"
+
+#: Poll interval of the completion loop (wall seconds).
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class TaskResult:
+    """Final state of one task after all retries."""
+
+    spec: TaskSpec
+    #: ``"ok"`` | ``"unhealthy"`` (ran, but violations / degraded) |
+    #: ``"failed"`` (never produced an outcome within the retry budget).
+    status: str
+    #: Launches consumed (1 = clean first run).
+    attempts: int
+    #: The worker's outcome dict for tasks that finished.
+    outcome: Optional[Dict[str, object]] = None
+    #: Last error string for failed tasks.
+    error: Optional[str] = None
+
+    @property
+    def healthy(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, merge-keyed by task id."""
+
+    out_dir: Path
+    tasks: List[TaskResult]          # sorted by task_id
+    workers: int
+    wall_seconds: float
+    retries: int
+    aggregate_path: Path
+    merged_trace_path: Path
+
+    @property
+    def ok(self) -> bool:
+        """Every task ran and ended healthy."""
+        return all(t.healthy for t in self.tasks)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {"tasks": len(self.tasks), "ok": 0, "unhealthy": 0,
+               "failed": 0}
+        for t in self.tasks:
+            out[t.status] += 1
+        return out
+
+    def task(self, task_id: str) -> TaskResult:
+        for t in self.tasks:
+            if t.spec.task_id == task_id:
+                return t
+        raise KeyError(f"no task {task_id!r} in this sweep")
+
+
+class SweepRunner:
+    """Fan independent tasks across a process pool, deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``workers=1`` still runs tasks in a child process,
+        so the execution environment — and therefore every byte of the
+        output — is identical to a parallel run.
+    retry:
+        Backoff/quarantine policy for crashed or timed-out tasks; the
+        default allows three launches per task.
+    task_timeout:
+        Per-launch wall-clock budget in seconds.  A task exceeding it
+        is treated like a crashed attempt (the pool is recycled to
+        reclaim the stuck worker).
+    since / until:
+        Optional simulation-time window for the per-task
+        ``events_in_window`` counts of the aggregate.  ``since`` must
+        not exceed ``until`` (same guard as ``repro stats``).
+    """
+
+    def __init__(self, workers: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 task_timeout: Optional[float] = None,
+                 since: Optional[float] = None,
+                 until: Optional[float] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        check_window(since, until)
+        self.workers = int(workers)
+        self.retry = retry if retry is not None else RetryPolicy(
+            base_delay=0.1, max_delay=2.0, max_attempts=3)
+        self.task_timeout = task_timeout
+        self.since = since
+        self.until = until
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[TaskSpec], out_dir) -> SweepResult:
+        """Execute every spec and write the aggregate artefacts."""
+        specs = list(specs)
+        if not specs:
+            raise ValueError("sweep needs at least one task")
+        ids = [s.task_id for s in specs]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate task ids: {', '.join(dupes)}")
+
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        t0 = time.monotonic()
+        results, retries = self._execute(specs, out)
+        wall = time.monotonic() - t0
+
+        ordered = [results[tid] for tid in sorted(results)]
+        aggregate_path = self._write_aggregate(ordered, out)
+        merged_path = self._write_merged_trace(ordered, out)
+        result = SweepResult(
+            out_dir=out, tasks=ordered, workers=self.workers,
+            wall_seconds=wall, retries=retries,
+            aggregate_path=aggregate_path,
+            merged_trace_path=merged_path)
+        # Run facts that legitimately differ between runs (wall clock,
+        # pool size) stay out of the deterministic aggregate.
+        (out / RUN_INFO_FILENAME).write_text(json.dumps(
+            {"workers": self.workers,
+             "wall_seconds": round(wall, 3),
+             "retries": retries},
+            indent=2, sort_keys=True) + "\n")
+        return result
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    @staticmethod
+    def _kill_executor(executor: ProcessPoolExecutor) -> None:
+        """Tear a pool down even if a worker is stuck mid-task."""
+        processes = getattr(executor, "_processes", None) or {}
+        for proc in list(processes.values()):
+            proc.terminate()
+        # The workers are dead or dying, so the join is prompt; skipping
+        # it leaves the pool's management thread to trip over closed
+        # pipes at interpreter exit.
+        executor.shutdown(wait=True, cancel_futures=True)
+
+    def _execute(self, specs: Sequence[TaskSpec], out: Path
+                 ) -> Tuple[Dict[str, TaskResult], int]:
+        #: (spec, attempt, earliest wall time to launch)
+        pending: List[Tuple[TaskSpec, int, float]] = [
+            (spec, 1, 0.0) for spec in specs]
+        running: Dict[Future, Tuple[TaskSpec, int, float]] = {}
+        results: Dict[str, TaskResult] = {}
+        retries = 0
+        executor = self._new_executor()
+
+        def fail_attempt(spec: TaskSpec, attempt: int, error: str) -> None:
+            nonlocal retries
+            if self.retry.exhausted(attempt):
+                results[spec.task_id] = TaskResult(
+                    spec=spec, status="failed", attempts=attempt,
+                    error=error)
+            else:
+                retries += 1
+                delay = self.retry.delay(attempt, key=spec.task_id)
+                pending.append(
+                    (spec, attempt + 1, time.monotonic() + delay))
+
+        def settle_broken(spec: TaskSpec, attempt: int) -> None:
+            # A dead worker poisons the pool: EVERY in-flight future
+            # raises, and the culprit is indistinguishable from
+            # collateral.  A task whose function actually completed
+            # left its outcome.json behind, though — recover that
+            # instead of charging it for a crash it didn't cause.
+            outcome = self._recover_outcome(out, spec, attempt)
+            if outcome is not None:
+                status = "ok" if outcome.get("healthy") else "unhealthy"
+                results[spec.task_id] = TaskResult(
+                    spec=spec, status=status, attempts=attempt,
+                    outcome=outcome)
+            else:
+                fail_attempt(spec, attempt,
+                             "worker process died mid-task")
+
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Launch due work, keeping at most `workers` in flight
+                # so the per-task timeout clock starts at true launch.
+                due = [p for p in pending if p[2] <= now]
+                due.sort(key=lambda p: (p[2], p[0].task_id))
+                for item in due:
+                    if len(running) >= self.workers:
+                        break
+                    pending.remove(item)
+                    spec, attempt, _ = item
+                    deadline = (now + self.task_timeout
+                                if self.task_timeout else float("inf"))
+                    future = executor.submit(
+                        worker_mod.run_task, spec.to_dict(), str(out),
+                        attempt)
+                    running[future] = (spec, attempt, deadline)
+
+                if not running:
+                    # Everything is backing off; sleep to the earliest.
+                    wake = min(p[2] for p in pending)
+                    time.sleep(max(0.0, min(wake - now, 1.0)))
+                    continue
+
+                done, _ = wait(list(running), timeout=_POLL_SECONDS,
+                               return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for future in done:
+                    spec, attempt, _ = running.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        settle_broken(spec, attempt)
+                        pool_broken = True
+                    except Exception as exc:   # task raised in-worker
+                        fail_attempt(
+                            spec, attempt,
+                            f"{type(exc).__name__}: {exc}")
+                    else:
+                        status = ("ok" if outcome.get("healthy")
+                                  else "unhealthy")
+                        results[spec.task_id] = TaskResult(
+                            spec=spec, status=status, attempts=attempt,
+                            outcome=outcome)
+                if pool_broken:
+                    # Anything still in flight died with the pool; give
+                    # each the same recover-or-charge treatment and
+                    # start a fresh pool.
+                    for future, (spec, attempt, _) in list(running.items()):
+                        running.pop(future)
+                        settle_broken(spec, attempt)
+                    self._kill_executor(executor)
+                    executor = self._new_executor()
+                    continue
+
+                # Per-task timeouts: a stuck worker cannot be cancelled
+                # through the executor API, so recycle the pool.
+                if self.task_timeout is not None:
+                    now = time.monotonic()
+                    if any(dl <= now for _, _, dl in running.values()):
+                        for future, (spec, attempt, dl) in \
+                                list(running.items()):
+                            running.pop(future)
+                            if dl <= now:
+                                fail_attempt(
+                                    spec, attempt,
+                                    f"task exceeded timeout of "
+                                    f"{self.task_timeout:g}s")
+                            else:
+                                pending.append((spec, attempt, 0.0))
+                        self._kill_executor(executor)
+                        executor = self._new_executor()
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        return results, retries
+
+    @staticmethod
+    def _recover_outcome(out: Path, spec: TaskSpec, attempt: int
+                         ) -> Optional[Dict[str, object]]:
+        """The outcome a lost future would have returned, if the task
+        function finished before its pool died (outcome.json is the
+        worker's last write)."""
+        path = out / spec.task_id / worker_mod.OUTCOME_FILENAME
+        try:
+            outcome = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if outcome.get("attempts") != attempt:
+            return None             # stale file from an earlier attempt
+        return outcome
+
+    # ------------------------------------------------------------------
+    # aggregation — task-id order, simulation-derived values only
+    # ------------------------------------------------------------------
+    def _task_entry(self, result: TaskResult, out: Path
+                    ) -> Dict[str, object]:
+        if result.outcome is None:
+            return {
+                "task": result.spec.task_id,
+                "kind": result.spec.kind,
+                "seed": result.spec.seed,
+                "status": "failed",
+                "healthy": False,
+                "attempts": result.attempts,
+                "error": result.error,
+            }
+        entry = dict(result.outcome)
+        if self.since is not None or self.until is not None:
+            entry["events_in_window"] = self._count_in_window(
+                out / result.spec.task_id / worker_mod.TRACE_FILENAME)
+        return entry
+
+    def _count_in_window(self, trace_path: Path) -> int:
+        if not trace_path.exists():
+            return 0
+        count = 0
+        for event in read_jsonl(str(trace_path)):
+            t = event.get("t")
+            if not is_number(t):
+                continue
+            if self.since is not None and t < self.since:
+                continue
+            if self.until is not None and t > self.until:
+                continue
+            count += 1
+        return count
+
+    def _write_aggregate(self, ordered: List[TaskResult], out: Path
+                         ) -> Path:
+        counts = {"tasks": len(ordered), "ok": 0, "unhealthy": 0,
+                  "failed": 0}
+        for t in ordered:
+            counts[t.status] += 1
+        aggregate = {
+            "kind": "repro.sweep",
+            "window": {"since": self.since, "until": self.until},
+            "counts": counts,
+            "healthy": counts["ok"] == counts["tasks"],
+            "tasks": [self._task_entry(t, out) for t in ordered],
+        }
+        path = out / AGGREGATE_FILENAME
+        path.write_text(json.dumps(aggregate, indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    @staticmethod
+    def _write_merged_trace(ordered: List[TaskResult], out: Path) -> Path:
+        """Concatenate per-task traces in task-id order, with a
+        ``sweep.task`` boundary event ahead of each run so the
+        invariant suite resets between tasks.  Failed tasks are
+        skipped (their last attempt's trace may be truncated
+        mid-flight); they are accounted for in the aggregate instead.
+        """
+        path = out / MERGED_TRACE_FILENAME
+        with open(path, "w", encoding="utf-8") as fh:
+            for result in ordered:
+                if result.status == "failed":
+                    continue
+                boundary = {"kind": SWEEP_BOUNDARY_KIND, "t": 0.0,
+                            "task": result.spec.task_id}
+                fh.write(json.dumps(boundary, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+                trace = (out / result.spec.task_id
+                         / worker_mod.TRACE_FILENAME)
+                if trace.exists():
+                    fh.write(trace.read_text(encoding="utf-8"))
+        return path
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def render_sweep_report(result: SweepResult) -> str:
+    """Human-readable sweep summary (the ``repro sweep`` stdout)."""
+    counts = result.counts
+    lines = [
+        "# sweep report",
+        "",
+        f"- tasks: {counts['tasks']} "
+        f"(ok {counts['ok']}, unhealthy {counts['unhealthy']}, "
+        f"failed {counts['failed']})",
+        f"- workers: {result.workers}; wall {result.wall_seconds:.1f} s; "
+        f"retries {result.retries}",
+        f"- aggregate: {result.aggregate_path}",
+        f"- merged trace: {result.merged_trace_path}",
+        "",
+        "| task | kind | seed | status | attempts | events | violations |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for t in result.tasks:
+        events = "-" if t.outcome is None else t.outcome.get("events", 0)
+        viol = ("-" if t.outcome is None
+                else t.outcome.get("violation_count", 0))
+        lines.append(
+            f"| {t.spec.task_id} | {t.spec.kind} | {t.spec.seed} "
+            f"| {t.status} | {t.attempts} | {events} | {viol} |")
+    problems = [t for t in result.tasks if not t.healthy]
+    if problems:
+        lines += ["", "## problems", ""]
+        for t in problems:
+            if t.status == "failed":
+                lines.append(f"- {t.spec.task_id}: FAILED after "
+                             f"{t.attempts} attempt(s): {t.error}")
+            else:
+                detail = []
+                if t.outcome and t.outcome.get("violation_count"):
+                    detail.append(
+                        f"{t.outcome['violation_count']} invariant "
+                        f"violation(s)")
+                lines.append(f"- {t.spec.task_id}: unhealthy"
+                             + (f" ({'; '.join(detail)})" if detail
+                                else ""))
+    verdict = "OK" if result.ok else "DEGRADED"
+    lines += ["", f"verdict: **{verdict}**"]
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""Worker-side task execution: what runs inside each pool process.
+
+:func:`run_task` is the single entry point the
+:class:`~repro.runner.sweep.SweepRunner` submits to its
+``ProcessPoolExecutor``.  It is a **pure function of the spec** (plus
+the attempt ordinal): it resets the process-wide observability runtime,
+routes the run's trace into the task's own directory, executes the
+experiment with a live :class:`~repro.obs.invariants.CheckerSink`
+attached, snapshots the metrics registry, and returns a structured,
+JSON-clean outcome dict.  Nothing in the outcome depends on wall-clock
+time or on which worker ran it, which is what lets the parent merge
+results by task id into a byte-identical aggregate.
+
+Per-run directory layout (under the sweep's ``--out DIR``)::
+
+    <task_id>/trace.jsonl     the run's full JSONL trace
+    <task_id>/metrics.json    metrics-registry snapshot
+    <task_id>/outcome.json    the same outcome dict returned to the parent
+
+Experiment kinds are looked up in :data:`EXPERIMENTS`; registering a
+new kind is one entry mapping ``kind -> fn(spec, attempt) ->
+(summary, healthy)``.  The ``"selftest"`` kind exists purely so the
+runner's own failure handling (retry, worker death, timeouts) can be
+exercised deterministically from tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import run_three_phase, run_trace_analysis
+from repro.faults import FaultPlan, run_chaos
+from repro.obs import JSONLSink, OBS
+from repro.obs.invariants import CheckerSink
+from repro.runner.spec import TaskSpec
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_task",
+    "TRACE_FILENAME",
+    "METRICS_FILENAME",
+    "OUTCOME_FILENAME",
+]
+
+TRACE_FILENAME = "trace.jsonl"
+METRICS_FILENAME = "metrics.json"
+OUTCOME_FILENAME = "outcome.json"
+
+#: Violations listed per task in the aggregate (the count stays exact).
+MAX_LISTED_VIOLATIONS = 50
+
+
+def _jsonify(value):
+    """Recursively coerce numpy scalars / tuples into plain JSON types
+    so the aggregate is loadable (and byte-stable) everywhere."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    # numpy scalars expose item(); anything else falls back to repr.
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonify(item())
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# experiment kinds
+# ----------------------------------------------------------------------
+def _run_chaos_task(spec: TaskSpec, attempt: int) -> Tuple[Dict, bool]:
+    plan = FaultPlan.from_json(spec.plan) if spec.plan else None
+    seed = spec.seed if spec.seed is not None else 7
+    # check=False: the worker's own CheckerSink already watches the
+    # bus, so the harness does not need a second suite.
+    result = run_chaos(seed=seed, plan=plan, check=False,
+                       **dict(spec.config))
+    summary = {
+        "duration": result.duration,
+        "phase_ends": result.phase_ends,
+        "faults": len(result.faults),
+        "transfers": result.transfers,
+        "wasted_bytes": result.wasted_bytes,
+        "lost_objects": len(result.lost_objects),
+        "degraded_objects": len(result.degraded_objects),
+        "degraded_reads": result.degraded_reads,
+        "unavailable_reads": result.unavailable_reads,
+        "dirty_backlog": result.dirty_backlog,
+        "final_audit": {
+            "lost": int(result.final_audit.get("lost", 0)),
+            "under_replicated":
+                int(result.final_audit.get("under_replicated", 0)),
+        },
+        "peak_throughput": result.peak_throughput,
+        "mean_throughput": result.mean_throughput,
+    }
+    return summary, result.ok
+
+
+def _run_trace_task(spec: TaskSpec, attempt: int) -> Tuple[Dict, bool]:
+    config = dict(spec.config)
+    which = config.pop("which", "CC-a")
+    exp = run_trace_analysis(which, seed=spec.seed, **config)
+    rel = exp.table2_row()
+    summary = {
+        "which": which,
+        "ideal_machine_hours": exp.analysis.ideal_machine_hours,
+        "machine_hours": {name: res.machine_hours
+                          for name, res in exp.analysis.results.items()},
+        "relative_machine_hours": rel,
+    }
+    # A policy beating the clairvoyant ideal (or a non-finite ratio)
+    # means the analysis itself is broken.
+    healthy = all(v == v and v >= 1.0 for v in rel.values())
+    return summary, healthy
+
+
+def _run_three_phase_task(spec: TaskSpec, attempt: int) -> Tuple[Dict, bool]:
+    config = dict(spec.config)
+    mode = config.pop("mode", "selective")
+    result = run_three_phase(mode, **config)
+    p2 = result.phase_ends["phase2"]
+    summary = {
+        "mode": mode,
+        "phase_ends": result.phase_ends,
+        "peak_throughput": max(result.throughput),
+        "mean_phase3_throughput":
+            result.mean_throughput(p2, result.phase_ends["phase3"]),
+        "recovery_time_after_p2": result.recovery_time_after(p2),
+        "migrated_bytes": result.migrated_bytes,
+        "rereplicated_bytes": result.rereplicated_bytes,
+    }
+    return summary, True
+
+
+def _run_selftest_task(spec: TaskSpec, attempt: int) -> Tuple[Dict, bool]:
+    """Deterministic failure modes for the runner's own tests.
+
+    Config keys: ``fail_attempts`` (attempts 1..k misbehave),
+    ``mode`` (``"raise"`` | ``"exit"`` — die without cleanup, the
+    worker-crash case | ``"hang"`` — sleep past any timeout),
+    ``delay`` (sleep this long before acting, to sequence failures
+    against sibling tasks), ``unhealthy`` (finish but report
+    unhealthy), ``echo`` (round-trip payload).
+    """
+    config = spec.config
+    delay = float(config.get("delay", 0.0))
+    if delay:
+        time.sleep(delay)
+    if attempt <= int(config.get("fail_attempts", 0)):
+        mode = config.get("mode", "raise")
+        if mode == "exit":
+            os._exit(17)
+        if mode == "hang":
+            time.sleep(float(config.get("hang_seconds", 3600.0)))
+        raise RuntimeError(
+            f"selftest: planned failure on attempt {attempt}")
+    OBS.bus.emit("selftest.run", t=0.0, task=spec.task_id)
+    summary = {"echo": config.get("echo")}
+    return summary, not bool(config.get("unhealthy", False))
+
+
+EXPERIMENTS: Dict[str, Callable[[TaskSpec, int], Tuple[Dict, bool]]] = {
+    "chaos": _run_chaos_task,
+    "trace": _run_trace_task,
+    "three-phase": _run_three_phase_task,
+    "selftest": _run_selftest_task,
+}
+
+
+# ----------------------------------------------------------------------
+# the entry point
+# ----------------------------------------------------------------------
+def run_task(spec_dict: Dict[str, object], out_dir: str,
+             attempt: int = 1) -> Dict[str, object]:
+    """Execute one task in the current process and return its outcome.
+
+    Takes the spec as a plain dict (cheapest thing to pickle across
+    the pool boundary); *attempt* is the 1-based launch ordinal so
+    retried tasks can be distinguished — and so the test-only selftest
+    kind can fail deterministically on early attempts.
+    """
+    spec = TaskSpec.from_dict(spec_dict)
+    fn = EXPERIMENTS.get(spec.kind)
+    if fn is None:
+        raise ValueError(
+            f"unknown experiment kind {spec.kind!r} "
+            f"(known: {', '.join(sorted(EXPERIMENTS))})")
+    task_dir = Path(out_dir) / spec.task_id
+    task_dir.mkdir(parents=True, exist_ok=True)
+
+    # Fresh observability world per task: pool workers are reused, so
+    # whatever the previous task left behind must not leak into this
+    # run's trace or metrics.
+    OBS.reset()
+    sink = JSONLSink(str(task_dir / TRACE_FILENAME))
+    checker = CheckerSink()
+    OBS.bus.attach(sink)
+    OBS.bus.attach(checker)
+    try:
+        summary, healthy = fn(spec, attempt)
+    finally:
+        OBS.bus.detach(checker)
+        OBS.bus.detach(sink)
+        sink.close()
+
+    violations = [v.describe() for v in checker.finish()]
+    metrics = OBS.metrics.snapshot()
+    (task_dir / METRICS_FILENAME).write_text(
+        json.dumps(_jsonify(metrics), indent=2, sort_keys=True) + "\n")
+
+    ok = healthy and not violations
+    outcome: Dict[str, object] = _jsonify({
+        "task": spec.task_id,
+        "kind": spec.kind,
+        "seed": spec.seed,
+        "status": "ok" if ok else "unhealthy",
+        "healthy": ok,
+        "attempts": attempt,
+        "events": sink.events_written,
+        "violations": violations[:MAX_LISTED_VIOLATIONS],
+        "violation_count": len(violations),
+        "summary": summary,
+    })
+    (task_dir / OUTCOME_FILENAME).write_text(
+        json.dumps(outcome, indent=2, sort_keys=True) + "\n")
+    return outcome

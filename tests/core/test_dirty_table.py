@@ -120,7 +120,8 @@ class TestSharding:
         for oid in range(100):
             table.insert(oid, 1)
         holding = [sid for sid in kv.shard_ids
-                   if kv.shard(sid).llen("dirty") > 0]
+                   if any(k.startswith("oid:")
+                          for k in kv.shard(sid).keys())]
         assert len(holding) == 4
 
     def test_order_preserved_across_shards(self):
@@ -137,3 +138,46 @@ class TestSharding:
         table.insert(1, 1)
         table.insert(1, 1)
         assert len(table) == 2
+
+
+class TestMembershipChange:
+    """§III-E-2: the table follows cluster membership.  Because every
+    entry lives under a routed per-OID key, shard add/remove migrates
+    the remapped lists and the table's contents survive unchanged."""
+
+    def fill(self, table):
+        expected = []
+        for version in (1, 2, 3):
+            for oid in range(40):
+                table.insert(oid * 3 + version, version)
+                expected.append(DirtyEntry(version=version,
+                                           oid=oid * 3 + version))
+        expected.sort()
+        return expected
+
+    def test_contents_intact_across_add_shard(self):
+        kv = ShardedKVStore([f"s{i}" for i in range(3)])
+        table = DirtyTable(kv)
+        expected = self.fill(table)
+        kv.add_shard("s-new")
+        assert table.entries() == expected
+        assert len(table) == len(expected)
+        assert table.head() == expected[0]
+
+    def test_contents_intact_across_remove_shard(self):
+        kv = ShardedKVStore([f"s{i}" for i in range(4)])
+        table = DirtyTable(kv)
+        expected = self.fill(table)
+        kv.remove_shard("s2")
+        assert table.entries() == expected
+        assert len(table) == len(expected)
+
+    def test_removal_still_routes_after_membership_change(self):
+        kv = ShardedKVStore([f"s{i}" for i in range(3)])
+        table = DirtyTable(kv)
+        expected = self.fill(table)
+        kv.add_shard("s-new")
+        head = table.head()
+        assert table.remove(head)
+        assert len(table) == len(expected) - 1
+        assert head not in table.entries()

@@ -81,3 +81,92 @@ class TestFanOut:
             store.set(f"k{i}", i)
         store.flushall()
         assert store.dbsize() == 0
+
+
+class TestMembership:
+    """add_shard / remove_shard: consistent-hash minimal movement
+    applied to the metadata store itself."""
+
+    def populate(self, store, count=200):
+        data = {}
+        for i in range(count):
+            if i % 3 == 0:
+                key = f"list-{i}"
+                store.rpush(key, i, i + 1)
+                data[key] = ("list", [i, i + 1])
+            else:
+                key = f"str-{i}"
+                store.set(key, i)
+                data[key] = ("string", i)
+        return data
+
+    def assert_intact(self, store, data):
+        for key, (kind, value) in data.items():
+            if kind == "string":
+                assert store.get(key) == value, key
+            else:
+                assert store.lrange(key, 0, -1) == value, key
+        assert store.dbsize() == len(data)
+
+    def test_add_shard_moves_only_remapped_keys(self):
+        store = ShardedKVStore(["s1", "s2", "s3"])
+        data = self.populate(store)
+        before = {key: store.shard_for(key) for key in data}
+        moved = store.add_shard("s4")
+        # Minimal movement: every key either stayed put or moved to the
+        # NEW shard — no key changed hands between surviving shards.
+        for key in data:
+            after = store.shard_for(key)
+            assert after == before[key] or after == "s4", key
+        remapped = [k for k in data if store.shard_for(k) != before[k]]
+        assert moved == len(remapped) > 0
+        # Far fewer keys move than a full rehash would touch.
+        assert moved < len(data) / 2
+        self.assert_intact(store, data)
+
+    def test_remove_shard_returns_keys_to_survivors(self):
+        store = ShardedKVStore(["s1", "s2", "s3", "s4"])
+        data = self.populate(store)
+        before = {key: store.shard_for(key) for key in data}
+        victims = [k for k in data if before[k] == "s4"]
+        moved = store.remove_shard("s4")
+        assert moved == len(victims)
+        # Keys not on the removed shard did not move.
+        for key in data:
+            if before[key] != "s4":
+                assert store.shard_for(key) == before[key], key
+        assert "s4" not in store.shard_ids
+        self.assert_intact(store, data)
+
+    def test_add_then_remove_is_an_identity_on_placement(self):
+        store = ShardedKVStore(["s1", "s2", "s3"])
+        data = self.populate(store)
+        before = {key: store.shard_for(key) for key in data}
+        store.add_shard("s4")
+        store.remove_shard("s4")
+        assert {key: store.shard_for(key) for key in data} == before
+        self.assert_intact(store, data)
+
+    def test_duplicate_add_rejected(self):
+        store = ShardedKVStore(["s1", "s2"])
+        with pytest.raises(ValueError):
+            store.add_shard("s1")
+
+    def test_remove_unknown_rejected(self):
+        store = ShardedKVStore(["s1", "s2"])
+        with pytest.raises(ValueError):
+            store.remove_shard("nope")
+
+    def test_cannot_remove_last_shard(self):
+        store = ShardedKVStore(["s1"])
+        with pytest.raises(ValueError):
+            store.remove_shard("s1")
+
+    def test_list_order_preserved_across_migration(self):
+        store = ShardedKVStore(["s1", "s2"])
+        for i in range(50):
+            store.rpush(f"q-{i}", "a", "b", "c")
+        store.add_shard("s3")
+        store.remove_shard("s1")
+        for i in range(50):
+            assert store.lrange(f"q-{i}", 0, -1) == ["a", "b", "c"]

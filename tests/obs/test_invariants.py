@@ -17,6 +17,7 @@ from repro.obs.invariants import (
     NoLostObjectChecker,
     PoweredMoveChecker,
     ReplicationRestoredChecker,
+    SWEEP_BOUNDARY_KIND,
     VersionMonotonicChecker,
     check_events,
 )
@@ -321,3 +322,45 @@ class TestDirtyAck:
         assert run_checker(DirtyAckChecker(), [
             {"kind": "dirty.remove", "t": 2.0, "oid": 7, "version": 3},
         ]) == []
+
+
+class TestSweepBoundary:
+    """A merged sweep trace concatenates independent runs; the
+    ``sweep.task`` boundary event must restart every checker so one
+    task's state never bleeds into the next — version epochs restart
+    at 1 in each run, which a single suite would flag as a regression."""
+
+    @staticmethod
+    def run_suite(events):
+        suite = InvariantSuite()
+        for i, ev in enumerate(events, start=1):
+            suite.observe(ev, i)
+        return suite
+
+    def test_version_restart_across_boundary_is_clean(self):
+        suite = self.run_suite([
+            {"kind": "version.advance", "t": 0.0, "version": 5},
+            {"kind": SWEEP_BOUNDARY_KIND, "t": 0.0, "task": "b"},
+            {"kind": "version.advance", "t": 0.0, "version": 1},
+        ])
+        assert suite.finish() == [] and suite.ok
+
+    def test_violation_before_boundary_survives_the_restart(self):
+        suite = self.run_suite([
+            {"kind": "version.advance", "t": 0.0, "version": 3},
+            {"kind": "version.advance", "t": 1.0, "version": 2},
+            {"kind": SWEEP_BOUNDARY_KIND, "t": 0.0, "task": "b"},
+            {"kind": "version.advance", "t": 0.0, "version": 1},
+        ])
+        violations = suite.finish()
+        assert [v.checker for v in violations] == ["version-monotonic"]
+        assert not suite.ok
+
+    def test_boundary_triggers_end_of_run_checks(self):
+        # An unfinished flow is an end-of-stream violation; the
+        # boundary must run it for the task that just ended.
+        suite = self.run_suite([
+            {"kind": "flow.start", "t": 0.0, "name": "c", "span_id": 1},
+            {"kind": SWEEP_BOUNDARY_KIND, "t": 0.0, "task": "b"},
+        ])
+        assert [v.checker for v in suite.finish()] == ["flow-accounting"]

@@ -4,12 +4,21 @@ object is ever lost and replication is eventually restored.
 Each case is a full three-phase run under a deterministic fault plan
 (crash + delayed repair, disk degradation, link loss) at a tiny scale,
 so the whole matrix stays in CI-smoke territory.
+
+The matrix is embarrassingly parallel, so the whole thing runs once
+through :class:`repro.runner.SweepRunner` (module-scoped fixture, one
+task per case, ``REPRO_SWEEP_WORKERS`` overrides the pool size); the
+individual tests then assert against their task's merged outcome.
 """
+
+import os
+import tempfile
 
 import pytest
 
 from repro.faults.harness import run_chaos
 from repro.faults.plan import FaultPlan
+from repro.runner import SweepRunner, TaskSpec
 
 # (n, off_count): the paper's testbed shape flanked by a minimal and a
 # wider cluster.
@@ -17,13 +26,46 @@ SHAPES = [(4, 1), (10, 4), (25, 8)]
 SEEDS = [0, 1, 2, 3, 4]
 
 
-def assert_healthy(result):
-    assert result.lost_objects == [], "objects lost under faults"
-    assert result.final_audit["lost"] == 0
-    assert result.final_audit["under_replicated"] == 0, \
+def _workers() -> int:
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env:
+        return max(1, int(env))
+    return min(4, os.cpu_count() or 1)
+
+
+def _specs():
+    specs = []
+    for n, off_count in SHAPES:
+        for seed in SEEDS:
+            config = {"n": n, "off_count": off_count, "scale": 0.03}
+            specs.append(TaskSpec(
+                task_id=f"curated-n{n:02d}-s{seed}", kind="chaos",
+                seed=seed, config=config))
+            plan = FaultPlan.generate(
+                seed=seed, n=n, duration=120.0,
+                crashable=range(2, n - off_count + 1))
+            specs.append(TaskSpec(
+                task_id=f"generated-n{n:02d}-s{seed}", kind="chaos",
+                seed=seed, config=config, plan=plan.to_json()))
+    return specs
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    with tempfile.TemporaryDirectory(prefix="chaos-sweep-") as out:
+        yield SweepRunner(workers=_workers()).run(_specs(), out)
+
+
+def assert_healthy(task):
+    assert task is not None and task.outcome is not None, "task never ran"
+    summary = task.outcome["summary"]
+    assert summary["lost_objects"] == 0, "objects lost under faults"
+    assert summary["final_audit"]["lost"] == 0
+    assert summary["final_audit"]["under_replicated"] == 0, \
         "replication not restored after repair"
-    assert result.dirty_backlog == 0
-    assert result.violations == []
+    assert summary["dirty_backlog"] == 0
+    assert task.outcome["violations"] == []
+    assert task.status == "ok"
 
 
 class TestCuratedPlan:
@@ -32,11 +74,9 @@ class TestCuratedPlan:
 
     @pytest.mark.parametrize("n,off_count", SHAPES)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_no_loss_and_replication_restored(self, seed, n, off_count):
-        result = run_chaos(seed=seed, n=n, off_count=off_count,
-                           scale=0.03)
-        assert_healthy(result)
-        assert result.ok
+    def test_no_loss_and_replication_restored(self, sweep, seed, n,
+                                              off_count):
+        assert_healthy(sweep.task(f"curated-n{n:02d}-s{seed}"))
 
 
 class TestGeneratedPlan:
@@ -46,13 +86,15 @@ class TestGeneratedPlan:
 
     @pytest.mark.parametrize("n,off_count", SHAPES)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_no_loss_and_replication_restored(self, seed, n, off_count):
-        plan = FaultPlan.generate(seed=seed, n=n, duration=120.0,
-                                  crashable=range(2, n - off_count + 1))
-        result = run_chaos(seed=seed, n=n, off_count=off_count,
-                           scale=0.03, plan=plan)
-        assert_healthy(result)
-        assert result.ok
+    def test_no_loss_and_replication_restored(self, sweep, seed, n,
+                                              off_count):
+        assert_healthy(sweep.task(f"generated-n{n:02d}-s{seed}"))
+
+
+class TestSweepAggregate:
+    def test_whole_matrix_is_healthy(self, sweep):
+        assert sweep.ok, f"sweep degraded: {sweep.counts}"
+        assert sweep.counts["tasks"] == len(SHAPES) * len(SEEDS) * 2
 
 
 class TestSameSeedSameOutcome:

@@ -1,0 +1,58 @@
+"""TaskSpec: id validation, immutability, dict round-trip."""
+
+import pickle
+
+import pytest
+
+from repro.runner import TaskSpec
+
+
+class TestValidation:
+    def test_minimal_spec(self):
+        spec = TaskSpec(task_id="t1", kind="chaos")
+        assert spec.seed is None and spec.config == {} and spec.plan is None
+
+    @pytest.mark.parametrize("bad", ["", " ", "a b", "../escape",
+                                     "-leading-dash", "tab\tid", "a/b"])
+    def test_bad_ids_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TaskSpec(task_id=bad, kind="chaos")
+
+    @pytest.mark.parametrize("good", ["t1", "chaos-s007", "CC-a.seed_3",
+                                      "3phase"])
+    def test_good_ids_accepted(self, good):
+        assert TaskSpec(task_id=good, kind="chaos").task_id == good
+
+    def test_overlong_id_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(task_id="x" * 129, kind="chaos")
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(task_id="t1", kind="")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(task_id="t1", kind="chaos", seed="7")
+
+    def test_frozen(self):
+        spec = TaskSpec(task_id="t1", kind="chaos")
+        with pytest.raises(AttributeError):
+            spec.seed = 3
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = TaskSpec(task_id="t1", kind="chaos", seed=7,
+                        config={"n": 4, "scale": 0.02}, plan='{"x":1}')
+        assert TaskSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_copies_config(self):
+        spec = TaskSpec(task_id="t1", kind="chaos", config={"n": 4})
+        spec.to_dict()["config"]["n"] = 99
+        assert spec.config["n"] == 4
+
+    def test_picklable(self):
+        spec = TaskSpec(task_id="t1", kind="trace", seed=11,
+                        config={"which": "CC-a"})
+        assert pickle.loads(pickle.dumps(spec)) == spec

@@ -1,0 +1,236 @@
+"""SweepRunner: deterministic aggregation across worker counts, retry
+and worker-death accounting, timeouts, and input validation.
+
+The determinism tests are the tentpole's acceptance criterion: the
+aggregate ``sweep.json`` and the merged trace must be **byte-identical**
+for ``workers=1`` and ``workers=N`` — merge order is the task id, never
+completion order.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.faults import RetryPolicy
+from repro.obs.report import render_check
+from repro.runner import SweepRunner, TaskSpec
+from repro.runner.worker import OUTCOME_FILENAME, TRACE_FILENAME
+
+CHAOS_CONFIG = {"n": 4, "off_count": 1, "scale": 0.02}
+
+
+def chaos_specs(count=4):
+    return [TaskSpec(task_id=f"chaos-s{seed:03d}", kind="chaos",
+                     seed=seed, config=CHAOS_CONFIG)
+            for seed in range(count)]
+
+
+def sha256(path):
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def two_sweeps(tmp_path_factory):
+    """The same 4-task chaos sweep at workers=1 and workers=4."""
+    specs = chaos_specs()
+    d1 = tmp_path_factory.mktemp("sweep-w1")
+    d4 = tmp_path_factory.mktemp("sweep-w4")
+    r1 = SweepRunner(workers=1).run(specs, d1)
+    r4 = SweepRunner(workers=4).run(specs, d4)
+    return r1, r4
+
+
+class TestDeterminism:
+    def test_aggregate_byte_identical_across_worker_counts(self,
+                                                           two_sweeps):
+        r1, r4 = two_sweeps
+        assert sha256(r1.aggregate_path) == sha256(r4.aggregate_path)
+
+    def test_merged_trace_byte_identical_across_worker_counts(
+            self, two_sweeps):
+        r1, r4 = two_sweeps
+        assert sha256(r1.merged_trace_path) == sha256(r4.merged_trace_path)
+
+    def test_per_task_traces_byte_identical(self, two_sweeps):
+        r1, r4 = two_sweeps
+        for task in r1.tasks:
+            t1 = r1.out_dir / task.spec.task_id / TRACE_FILENAME
+            t4 = r4.out_dir / task.spec.task_id / TRACE_FILENAME
+            assert sha256(t1) == sha256(t4), task.spec.task_id
+
+    def test_all_tasks_healthy(self, two_sweeps):
+        r1, _ = two_sweeps
+        assert r1.ok
+        assert r1.counts == {"tasks": 4, "ok": 4, "unhealthy": 0,
+                             "failed": 0}
+
+    def test_merged_trace_passes_repro_check(self, two_sweeps):
+        r1, _ = two_sweeps
+        _text, code = render_check(str(r1.merged_trace_path))
+        assert code == 0
+
+    def test_aggregate_lists_tasks_in_id_order(self, two_sweeps):
+        r1, _ = two_sweeps
+        agg = json.loads(r1.aggregate_path.read_text())
+        ids = [t["task"] for t in agg["tasks"]]
+        assert ids == sorted(ids) and len(ids) == 4
+
+    def test_outcome_json_matches_returned_outcome(self, two_sweeps):
+        r1, _ = two_sweeps
+        task = r1.tasks[0]
+        on_disk = json.loads(
+            (r1.out_dir / task.spec.task_id / OUTCOME_FILENAME)
+            .read_text())
+        assert on_disk == task.outcome
+
+    def test_wall_clock_stays_out_of_the_aggregate(self, two_sweeps):
+        r1, _ = two_sweeps
+        text = r1.aggregate_path.read_text()
+        assert "wall" not in text and "workers" not in text
+        info = json.loads((r1.out_dir / "run_info.json").read_text())
+        assert info["workers"] == 1 and info["wall_seconds"] >= 0
+
+
+class TestRetries:
+    def test_flaky_task_retried_to_success(self, tmp_path):
+        specs = [TaskSpec(task_id="flaky", kind="selftest", seed=1,
+                          config={"fail_attempts": 1, "mode": "raise"}),
+                 TaskSpec(task_id="steady", kind="selftest", seed=2)]
+        result = SweepRunner(
+            workers=2,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=3)).run(specs, tmp_path)
+        assert result.ok and result.retries == 1
+        assert result.task("flaky").attempts == 2
+        assert result.task("steady").attempts == 1
+
+    def test_exhausted_retries_surface_as_failed_task(self, tmp_path):
+        specs = [TaskSpec(task_id="doomed", kind="selftest", seed=1,
+                          config={"fail_attempts": 99, "mode": "raise"})]
+        result = SweepRunner(
+            workers=1,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=2)).run(specs, tmp_path)
+        doomed = result.task("doomed")
+        assert not result.ok
+        assert doomed.status == "failed" and doomed.attempts == 2
+        assert "planned failure" in doomed.error
+        # Never silently dropped: the aggregate lists the failure too.
+        agg = json.loads(result.aggregate_path.read_text())
+        assert agg["counts"]["failed"] == 1
+        assert agg["tasks"][0]["status"] == "failed"
+
+    def test_killed_worker_fails_task_and_spares_sibling(self, tmp_path):
+        """A worker dying mid-task (os._exit) breaks the whole pool;
+        the killer is charged attempts until the retry budget runs
+        out, the sibling's finished work is recovered from its
+        outcome.json, and both are accounted for.  The killer delays
+        before dying so the sibling's function has completed by the
+        time the pool collapses."""
+        specs = [TaskSpec(task_id="killer", kind="selftest", seed=1,
+                          config={"fail_attempts": 99, "mode": "exit",
+                                  "delay": 0.5}),
+                 TaskSpec(task_id="bystander", kind="selftest", seed=2)]
+        result = SweepRunner(
+            workers=2,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=2)).run(specs, tmp_path)
+        killer = result.task("killer")
+        assert killer.status == "failed" and killer.attempts == 2
+        assert "died" in killer.error
+        assert result.task("bystander").status == "ok"
+        assert result.counts["failed"] == 1 and result.counts["ok"] == 1
+
+    def test_single_worker_kill_accounting_is_deterministic(self,
+                                                            tmp_path):
+        """With one worker there is no collateral: every pool break is
+        the killer's own, so attempts and retries are exact."""
+        specs = [TaskSpec(task_id="killer", kind="selftest", seed=1,
+                          config={"fail_attempts": 99, "mode": "exit"}),
+                 TaskSpec(task_id="after", kind="selftest", seed=2)]
+        result = SweepRunner(
+            workers=1,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=2)).run(specs, tmp_path)
+        killer = result.task("killer")
+        assert killer.status == "failed" and killer.attempts == 2
+        assert result.retries == 1
+        assert result.task("after").status == "ok"
+        assert result.task("after").attempts == 1
+
+    def test_timeout_treated_like_a_crash(self, tmp_path):
+        specs = [TaskSpec(task_id="slow", kind="selftest", seed=1,
+                          config={"fail_attempts": 99, "mode": "hang"})]
+        result = SweepRunner(
+            workers=1, task_timeout=0.5,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=2)).run(specs, tmp_path)
+        slow = result.task("slow")
+        assert slow.status == "failed" and slow.attempts == 2
+        assert "timeout" in slow.error
+
+
+class TestOutcomes:
+    def test_unhealthy_run_flagged_not_failed(self, tmp_path):
+        specs = [TaskSpec(task_id="sick", kind="selftest", seed=1,
+                          config={"unhealthy": True})]
+        result = SweepRunner(workers=1).run(specs, tmp_path)
+        assert not result.ok
+        assert result.task("sick").status == "unhealthy"
+        assert result.task("sick").outcome is not None
+
+    def test_failed_task_excluded_from_merged_trace(self, tmp_path):
+        specs = [TaskSpec(task_id="doomed", kind="selftest", seed=1,
+                          config={"fail_attempts": 99, "mode": "raise"}),
+                 TaskSpec(task_id="fine", kind="selftest", seed=2)]
+        result = SweepRunner(
+            workers=1,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=2)).run(specs, tmp_path)
+        boundaries = [json.loads(line)
+                      for line in result.merged_trace_path.read_text()
+                      .splitlines() if '"sweep.task"' in line]
+        assert [b["task"] for b in boundaries] == ["fine"]
+
+    def test_events_in_window_counted_when_window_set(self, tmp_path):
+        result = SweepRunner(workers=1, since=0.0, until=1e9).run(
+            chaos_specs(1), tmp_path)
+        agg = json.loads(result.aggregate_path.read_text())
+        entry = agg["tasks"][0]
+        assert entry["events_in_window"] > 0
+        assert entry["events_in_window"] <= entry["events"]
+
+
+class TestValidation:
+    def test_empty_specs_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            SweepRunner().run([], tmp_path)
+
+    def test_duplicate_task_ids_rejected(self, tmp_path):
+        specs = [TaskSpec(task_id="dup", kind="selftest"),
+                 TaskSpec(task_id="dup", kind="selftest", seed=2)]
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepRunner().run(specs, tmp_path)
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(task_timeout=0.0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError, match="empty time window"):
+            SweepRunner(since=5.0, until=2.0)
+
+    def test_unknown_kind_is_failed_task_not_crash(self, tmp_path):
+        specs = [TaskSpec(task_id="mystery", kind="nope")]
+        result = SweepRunner(
+            workers=1,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=1)).run(specs, tmp_path)
+        task = result.task("mystery")
+        assert task.status == "failed"
+        assert "unknown experiment kind" in task.error

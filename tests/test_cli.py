@@ -230,3 +230,62 @@ class TestCorruptTraceHandling:
         assert main(["stats", str(path)]) == 2
         err = capsys.readouterr().err
         assert "line 1" in err and "object" in err
+
+
+class TestSweepCommand:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.kind == "chaos" and args.seeds == "0,1,2,3"
+        assert args.workers is None and args.out == "sweep-out"
+
+    def test_selftest_style_small_sweep(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        assert main(["sweep", "--kind", "chaos", "--seeds", "0,1",
+                     "--workers", "2", "--out", str(out),
+                     "--n", "4", "--off-count", "1",
+                     "--scale", "0.02"]) == 0
+        report = capsys.readouterr().out
+        assert "# sweep report" in report
+        assert "verdict: **OK**" in report
+        assert (out / "sweep.json").exists()
+        assert (out / "merged.jsonl").exists()
+        assert (out / "chaos-s000" / "trace.jsonl").exists()
+        assert (out / "chaos-s001" / "outcome.json").exists()
+
+    def test_sweep_plan_file(self, tmp_path, capsys):
+        from repro.faults import FaultPlan
+        path = tmp_path / "plan.json"
+        FaultPlan.three_phase_default(seed=3).dump(str(path))
+        assert main(["sweep", "--seeds", "5", "--workers", "1",
+                     "--out", str(tmp_path / "sweep"),
+                     "--scale", "0.02", "--n", "10",
+                     "--plan", str(path)]) == 0
+        assert "verdict: **OK**" in capsys.readouterr().out
+
+    def test_bad_seeds_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad --seeds"):
+            main(["sweep", "--seeds", "1,x", "--out", str(tmp_path)])
+
+    def test_duplicate_seeds_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="duplicate seed"):
+            main(["sweep", "--seeds", "1,1", "--out", str(tmp_path)])
+
+    def test_inverted_window_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="empty time window"):
+            main(["sweep", "--seeds", "0", "--out", str(tmp_path),
+                  "--since", "9", "--until", "1"])
+
+    def test_bad_plan_file_is_clean_error(self, tmp_path):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="bad --plan"):
+            main(["sweep", "--seeds", "0", "--out", str(tmp_path / "s"),
+                  "--plan", str(bad)])
+
+
+class TestStatsWindowGuard:
+    def test_inverted_window_is_clean_error(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        trace.write_text('{"kind": "tick", "t": 1.0}\n')
+        with pytest.raises(SystemExit, match="empty time window"):
+            main(["stats", str(trace), "--since", "5", "--until", "2"])

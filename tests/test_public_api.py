@@ -67,6 +67,10 @@ SURFACE = {
         "PlannedTransfer", "TransferJob", "TransferManager",
         "ChaosResult", "run_chaos", "render_chaos_report",
     ],
+    "repro.runner": [
+        "TaskSpec", "TaskResult", "SweepRunner", "SweepResult",
+        "render_sweep_report", "run_task",
+    ],
     "repro.cli": ["main", "build_parser"],
 }
 
