@@ -12,11 +12,22 @@ Benches that pass ``data=`` to :func:`emit_report` additionally write
 machine-readable form, for plotting or regression diffing.  Running
 with ``--json DIR`` (registered by ``benchmarks/conftest.py``) mirrors
 the JSON documents into *DIR* instead of the default reports tree.
+
+Every structured report is also **appended** to the bench-history
+store, ``<json dir>/history/<name>.jsonl`` — one line per run,
+carrying the same data plus attribution metadata (git sha, python
+version, platform tag) in a side channel.  The ``<name>.json``
+document itself stays byte-identical run to run for identical data:
+the metadata lives only in the history lines, so the perf trajectory
+is queryable without perturbing the diffable artefacts.
 """
 
 from __future__ import annotations
 
 import json
+import platform
+import subprocess
+import sys
 from pathlib import Path
 from typing import Optional
 
@@ -26,13 +37,61 @@ REPORT_DIR = Path(__file__).parent / "reports"
 #: points this at the ``--json DIR`` argument when given.
 JSON_DIR: Optional[Path] = None
 
+#: History subdirectory name (under the active JSON directory).
+HISTORY_DIRNAME = "history"
+
+
+def run_metadata() -> dict:
+    """Attribution for one bench run: git sha, python version, and a
+    hostname-free platform tag.  Deliberately excludes anything
+    machine-identifying (hostname, user, absolute paths) so history
+    lines can be committed or shipped as CI artifacts."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent, capture_output=True, text=True,
+            timeout=10).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "git_sha": sha,
+        "python": "{}.{}.{}".format(*sys.version_info[:3]),
+        "platform": f"{platform.system()}-{platform.machine()}".lower(),
+    }
+
+
+def history_dir() -> Path:
+    """The active history directory (tracks ``--json DIR``)."""
+    base = JSON_DIR if JSON_DIR is not None else REPORT_DIR
+    return base / HISTORY_DIRNAME
+
+
+def append_history(name: str, data: dict,
+                   meta: Optional[dict] = None) -> Path:
+    """Append one ``{"name", "meta", "data"}`` line to the bench's
+    history JSONL.  Compact single-line JSON with sorted keys, so the
+    store is both greppable and loadable line by line."""
+    directory = history_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.jsonl"
+    line = {"name": name,
+            "meta": meta if meta is not None else run_metadata(),
+            "data": data}
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(line, sort_keys=True,
+                            separators=(",", ":"), default=repr) + "\n")
+    return path
+
 
 def emit_report(name: str, text: str, data: Optional[dict] = None) -> Path:
     """Write (and print) one bench's report.
 
     With *data*, the measured quantities are also dumped as
-    ``<name>.json``: ``{"name", "report", "data"}`` with the ASCII
-    report embedded so the JSON document is self-describing.
+    ``<name>.json`` (``{"name", "report", "data"}`` with the ASCII
+    report embedded so the JSON document is self-describing) and a
+    history line is appended to ``history/<name>.jsonl``; run metadata
+    rides only in the history line, keeping ``<name>.json``
+    byte-identical for identical data.
     """
     REPORT_DIR.mkdir(exist_ok=True)
     path = REPORT_DIR / f"{name}.txt"
@@ -44,6 +103,8 @@ def emit_report(name: str, text: str, data: Optional[dict] = None) -> Path:
         (json_dir / f"{name}.json").write_text(
             json.dumps(document, indent=2, sort_keys=True, default=repr)
             + "\n")
+    if data is not None:
+        append_history(name, data)
     print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
     return path
 

@@ -65,3 +65,6 @@ def pytest_sessionfinish(session):
     (_bench_utils.JSON_DIR / "perf_core_timings.json").write_text(
         json.dumps(document, indent=2, sort_keys=True, default=repr)
         + "\n")
+    # One attributable line per run in the bench-history store: the
+    # perf trajectory CI gates on (see docs/PERFORMANCE.md).
+    _bench_utils.append_history("perf_core_timings", timings)

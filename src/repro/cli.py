@@ -13,6 +13,9 @@
     python -m repro stats run.jsonl --kind migration. --top 5
     python -m repro check run.jsonl
     python -m repro report run.jsonl
+    python -m repro chaos --seed 7 --profile-out prof.json
+    python -m repro profile prof.json --top 10 --collapsed prof.folded
+    python -m repro compare run-a/ run-b/ --threshold 10
 
 Each subcommand renders the same report the corresponding benchmark
 emits; heavy runs expose their scale/size knobs so a laptop shell can
@@ -34,6 +37,15 @@ Every experiment subcommand also takes the observability flags:
     (:mod:`repro.obs.invariants`) to the run's live event stream and
     exit 1 if any invariant is violated — CI's regression tripwire.
 
+``--profile-out PATH``
+    Attach the instrumentation profiler
+    (:mod:`repro.obs.profile`) and write the hierarchical wall-clock +
+    sim-time profile to *PATH* as JSON.  Inspect with ``python -m
+    repro profile PATH``; the trace stays byte-identical (wall-clock
+    data never enters the event stream).  On ``repro sweep`` the flag
+    instead profiles every task and writes the sweep-level hotspot
+    rollup to *PATH*.
+
 Command functions build and *return* their report text; only
 :func:`main` writes to stdout, so the library layer stays print-free
 and the reports remain embeddable (tests, notebooks, benchmarks).
@@ -42,6 +54,7 @@ and the reports remain embeddable (tests, notebooks, benchmarks).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -63,8 +76,21 @@ from repro.metrics.report import (
     render_table,
 )
 from repro.obs import JSONLSink, OBS
+from repro.obs.compare import CompareError, compare_runs, render_compare
 from repro.obs.invariants import CheckerSink
-from repro.obs.report import render_check, render_run_report
+from repro.obs.profile import (
+    ProfileError,
+    Profiler,
+    collapsed_stacks,
+    load_profile,
+    profile_document,
+    render_profile,
+)
+from repro.obs.report import (
+    EmptyTraceError,
+    render_check,
+    render_run_report,
+)
 from repro.obs.stats import render_trace_stats
 from repro.obs.trace import TraceParseError
 from repro.runner import SweepRunner, TaskSpec, render_sweep_report
@@ -80,6 +106,10 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--check", action="store_true",
                    help="run the invariant checkers live against this "
                         "run's events; exit 1 on any violation")
+    p.add_argument("--profile-out", metavar="PATH", default=None,
+                   help="attach the instrumentation profiler and write "
+                        "the wall-clock + sim-time profile to PATH as "
+                        "JSON (inspect with 'repro profile PATH')")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -185,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--until", type=float, default=None, metavar="T",
                    help="aggregate: count per-task events at "
                         "simulation time <= T seconds")
+    p.add_argument("--profile-out", metavar="PATH", default=None,
+                   help="profile every task (per-task profile.json) "
+                        "and write the sweep-level hotspot rollup, "
+                        "aggregated by task id, to PATH")
 
     p = sub.add_parser("stats",
                        help="summarise a JSONL trace written by --trace-out")
@@ -213,6 +247,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "from a JSONL trace")
     p.add_argument("trace_file", metavar="TRACE.jsonl",
                    help="trace file produced by --trace-out")
+
+    p = sub.add_parser("profile",
+                       help="render the hotspot report for a profile "
+                            "written by --profile-out (top-N self-time "
+                            "table, engine event dispatch rates)")
+    p.add_argument("profile_file", metavar="PROFILE.json",
+                   help="profile document written by --profile-out")
+    p.add_argument("--top", type=int, default=15, metavar="N",
+                   help="hotspot rows to show (default 15)")
+    p.add_argument("--collapsed", metavar="PATH", default=None,
+                   help="also write flamegraph collapsed stacks "
+                        "('frame;frame N' lines, flamegraph.pl / "
+                        "speedscope compatible) to PATH, or '-' to "
+                        "print them instead of the report")
+
+    p = sub.add_parser("compare",
+                       help="diff two run directories or artifacts "
+                            "(metrics, span distributions, profile "
+                            "hotspots, bench JSON); exit 1 on any "
+                            "wall-clock regression beyond threshold")
+    p.add_argument("run_a", metavar="RUN_A",
+                   help="baseline: run directory or artifact file")
+    p.add_argument("run_b", metavar="RUN_B",
+                   help="candidate: run directory or artifact file")
+    p.add_argument("--threshold", type=float, default=25.0,
+                   metavar="PCT",
+                   help="relative wall-clock regression threshold in "
+                        "percent (default 25)")
+    p.add_argument("--min-seconds", type=float, default=1e-4,
+                   metavar="S",
+                   help="ignore profile hotspots where both sides "
+                        "are below S seconds (default 1e-4); bench "
+                        "medians always gate")
+    p.add_argument("--strict", action="store_true",
+                   help="treat sim-derived drift (metrics, span "
+                        "durations) as a regression too — the "
+                        "same-seed gate")
 
     return parser
 
@@ -370,11 +441,22 @@ def _cmd_sweep(args):
         runner = SweepRunner(
             workers=args.workers or os.cpu_count() or 1,
             task_timeout=args.timeout,
-            since=args.since, until=args.until)
+            since=args.since, until=args.until,
+            profile=args.profile_out is not None)
         result = runner.run(specs, args.out)
     except ValueError as exc:
         raise SystemExit(f"repro sweep: {exc}")
-    return render_sweep_report(result), (0 if result.ok else 1)
+    report = render_sweep_report(result)
+    if args.profile_out is not None \
+            and result.profile_rollup_path is not None:
+        rollup = result.profile_rollup_path
+        if os.path.abspath(args.profile_out) != os.path.abspath(
+                str(rollup)):
+            with open(rollup, encoding="utf-8") as src, \
+                    open(args.profile_out, "w", encoding="utf-8") as dst:
+                dst.write(src.read())
+        report += f"\n- profile rollup: {args.profile_out}"
+    return report, (0 if result.ok else 1)
 
 
 def _cmd_stats(args) -> str:
@@ -397,6 +479,34 @@ def _cmd_report(args) -> str:
     return render_run_report(args.trace_file)
 
 
+def _cmd_profile(args):
+    doc = load_profile(args.profile_file)
+    try:
+        report = render_profile(doc, top=args.top)
+    except ValueError as exc:
+        raise SystemExit(f"repro profile: {exc}")
+    if args.collapsed is not None:
+        lines = collapsed_stacks(doc["root"])
+        if args.collapsed == "-":
+            return "\n".join(lines)
+        with open(args.collapsed, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        report += (f"\n\ncollapsed stacks ({len(lines)} frames) "
+                   f"written to {args.collapsed}")
+    return report
+
+
+def _cmd_compare(args):
+    # Returns (markdown, exit_code): 0 OK, 1 regression(s).
+    if args.threshold < 0:
+        raise SystemExit("repro compare: --threshold must be >= 0")
+    result = compare_runs(args.run_a, args.run_b,
+                          threshold=args.threshold / 100.0,
+                          min_seconds=args.min_seconds,
+                          strict=args.strict)
+    return render_compare(result), result.exit_code
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "layout": _cmd_layout,
@@ -409,6 +519,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "check": _cmd_check,
     "report": _cmd_report,
+    "profile": _cmd_profile,
+    "compare": _cmd_compare,
 }
 
 
@@ -419,6 +531,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_out = getattr(args, "trace_out", None)
     stats = getattr(args, "stats", False)
     check = getattr(args, "check", False)
+    # The sweep command handles --profile-out itself (the profiling
+    # happens inside the worker processes; the flag names the rollup).
+    profile_out = (getattr(args, "profile_out", None)
+                   if args.command != "sweep" else None)
 
     sink = None
     if trace_out is not None:
@@ -434,6 +550,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         OBS.bus.attach(checker_sink)
     if stats:
         OBS.hot = True
+    profiler = None
+    if profile_out is not None:
+        profiler = Profiler()
+        OBS.profiler = profiler
+        profiler.push(f"cmd:{args.command}")
     code = 0
     try:
         result = command(args)
@@ -441,6 +562,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             report, code = result
         else:
             report = result
+        if profiler is not None:
+            OBS.profiler = None
+            profiler.stop()
+            doc = profile_document(profiler,
+                                   command=args.command)
+            with open(profile_out, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(doc, indent=2, sort_keys=True)
+                         + "\n")
+            report += f"\n\nprofile written to {profile_out}"
         if stats:
             report += "\n\n" + OBS.metrics.render(
                 title=f"metrics — repro {args.command}")
@@ -457,13 +587,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"repro --check: all invariants hold "
                       f"({checker_sink.suite.events_seen} events)",
                       file=sys.stderr)
-    except TraceParseError as exc:
+    except (TraceParseError, EmptyTraceError, ProfileError,
+            CompareError) as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     finally:
+        OBS.profiler = None
         if stats:
             OBS.hot = False
         if checker_sink is not None:

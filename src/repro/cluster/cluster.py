@@ -37,6 +37,7 @@ from repro.core.reintegration import (
 from repro.cluster.objects import DEFAULT_OBJECT_SIZE, ObjectCatalog
 from repro.cluster.server import StorageServer
 from repro.hashring.ring import HashRing
+from repro.obs.profile import profiled
 from repro.obs.runtime import OBS
 
 __all__ = ["ElasticCluster", "OriginalCHCluster", "CrashRecoveryWork"]
@@ -251,6 +252,7 @@ class ElasticCluster(_ClusterBase):
     def current_version(self) -> int:
         return self.ech.current_version
 
+    @profiled("cluster.resize")
     def resize(self, k: int) -> None:
         """Resize to *k* active servers along the expansion chain —
         **instant**, the point of the primary-server design: shrinking
@@ -590,6 +592,7 @@ class ElasticCluster(_ClusterBase):
                          entry_version=task.entry_version,
                          target_version=task.target_version)
 
+    @profiled("reintegration.selective")
     def run_selective_reintegration(
         self, budget_bytes: Optional[int] = None,
     ) -> ReintegrationReport:
@@ -620,12 +623,14 @@ class ElasticCluster(_ClusterBase):
         """Bytes the selective engine would move right now."""
         return self._engine.total_pending_bytes()
 
+    @profiled("reintegration.plan")
     def plan_selective_reintegration(self) -> ReintegrationPlan:
         """Snapshot one Algorithm-2 pass without mutating anything —
         the transfer layer routes an interruptible flow from it (see
         :class:`~repro.core.reintegration.ReintegrationPlan`)."""
         return self._engine.plan_pass()
 
+    @profiled("reintegration.commit")
     def commit_selective_reintegration(self, plan: ReintegrationPlan
                                        ) -> ReintegrationReport:
         """Commit a previously planned pass once its transfer has
@@ -652,6 +657,7 @@ class ElasticCluster(_ClusterBase):
                 self._engine.span_parent = None
         return report
 
+    @profiled("reintegration.full")
     def run_full_reintegration(self) -> int:
         """The "primary+full" re-integration (§V-B): restore the layout
         for the just-re-powered servers without consulting the dirty

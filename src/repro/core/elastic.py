@@ -284,13 +284,21 @@ class ElasticConsistentHash:
         """Replica locations of *oid* under *version* (default:
         current).  Pure: repeated calls with the same arguments return
         the same servers — Algorithm 2's ``locate_ser``."""
-        if OBS.hot:   # per-lookup profiling (--stats / perf runs)
-            t0 = perf_counter()
-            result = self._locate(oid, version)
-            OBS.metrics.observe("perf.core.locate", perf_counter() - t0)
-            OBS.metrics.inc("core.locates")
-            return result
-        return self._locate(oid, version)
+        prof = OBS.profiler
+        if prof is not None:
+            prof.push("kernel.locate")
+        try:
+            if OBS.hot:   # per-lookup profiling (--stats / perf runs)
+                t0 = perf_counter()
+                result = self._locate(oid, version)
+                OBS.metrics.observe("perf.core.locate",
+                                    perf_counter() - t0)
+                OBS.metrics.inc("core.locates")
+                return result
+            return self._locate(oid, version)
+        finally:
+            if prof is not None:
+                prof.pop()
 
     def _locate(self, oid: int,
                 version: Optional[int] = None) -> PlacementResult:
@@ -340,14 +348,21 @@ class ElasticConsistentHash:
         cache hashes, e.g. repeated sweeps over a fixed catalog)."""
         table = (self.history.current if version is None
                  else self.history.get(version))
-        if OBS.hot:
-            t0 = perf_counter()
-            result = self._locate_bulk_positions(positions, table)
-            OBS.metrics.observe("perf.core.locate_bulk",
-                                perf_counter() - t0)
-            OBS.metrics.inc("core.locates", len(result))
-            return result
-        return self._locate_bulk_positions(positions, table)
+        prof = OBS.profiler
+        if prof is not None:
+            prof.push("kernel.locate_bulk")
+        try:
+            if OBS.hot:
+                t0 = perf_counter()
+                result = self._locate_bulk_positions(positions, table)
+                OBS.metrics.observe("perf.core.locate_bulk",
+                                    perf_counter() - t0)
+                OBS.metrics.inc("core.locates", len(result))
+                return result
+            return self._locate_bulk_positions(positions, table)
+        finally:
+            if prof is not None:
+                prof.pop()
 
     def _locate_bulk_positions(self, positions: np.ndarray,
                                table: MembershipTable) -> BulkPlacement:

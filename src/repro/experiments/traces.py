@@ -12,6 +12,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.runtime import OBS
 from repro.policy.analysis import (
     TraceAnalysis,
     analyze_trace,
@@ -87,13 +88,18 @@ def run_trace_analysis(
         than the 250-minute windows shown in the paper).
     """
     if which == "CC-a":
-        spec = CC_A
-        trace = generate_cc_a(**({"seed": seed} if seed is not None else {}))
+        spec, generate = CC_A, generate_cc_a
     elif which == "CC-b":
-        spec = CC_B
-        trace = generate_cc_b(**({"seed": seed} if seed is not None else {}))
+        spec, generate = CC_B, generate_cc_b
     else:
         raise ValueError(f"unknown trace {which!r}; use 'CC-a' or 'CC-b'")
+    kwargs = {"seed": seed} if seed is not None else {}
+    prof = OBS.profiler
+    if prof is not None:
+        with prof.frame("workload.generate"):
+            trace = generate(**kwargs)
+    else:
+        trace = generate(**kwargs)
 
     config = config_for_trace(trace, FIGURE_N_MAX[which],
                               **config_overrides)

@@ -14,6 +14,12 @@ The observability layer under every experiment and benchmark:
 * :class:`~repro.obs.metrics.MetricsRegistry` (``OBS.metrics``) —
   named counters / gauges / fixed-bucket histograms with a
   deterministic ``snapshot()`` / ``render()`` API;
+* :mod:`~repro.obs.profile` — the deterministic instrumentation
+  profiler behind ``--profile-out`` / ``repro profile`` (hierarchical
+  wall-clock + sim-time attribution, flamegraph collapsed stacks);
+* :mod:`~repro.obs.compare` — the ``repro compare`` run-vs-run diff
+  (metrics, span distributions, profile hotspots, bench JSON) with
+  regression thresholds;
 * :data:`~repro.obs.runtime.OBS` — the process-wide runtime binding
   them, plus the ``hot`` switch for wall-clock ``perf.*`` timers on
   the hot paths (ring lookup, placement, fair-share solve).
@@ -39,6 +45,14 @@ from repro.obs.invariants import (
     default_checkers,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    ProfileError,
+    ProfileNode,
+    Profiler,
+    collapsed_stacks,
+    load_profile,
+    profile_document,
+)
 from repro.obs.runtime import OBS, Runtime, get_runtime
 from repro.obs.spans import Span, SpanTracker
 from repro.obs.trace import (
@@ -78,11 +92,21 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Profiler",
+    "ProfileNode",
+    "ProfileError",
+    "profile_document",
+    "collapsed_stacks",
+    "load_profile",
+    "render_profile",
     "summarize_trace",
     "render_trace_stats",
     "check_trace",
     "render_check",
     "render_run_report",
+    "EmptyTraceError",
+    "compare_runs",
+    "render_compare",
 ]
 
 
@@ -94,7 +118,14 @@ def __getattr__(name: str):
     if name in ("summarize_trace", "render_trace_stats"):
         from repro.obs import stats
         return getattr(stats, name)
-    if name in ("check_trace", "render_check", "render_run_report"):
+    if name in ("check_trace", "render_check", "render_run_report",
+                "EmptyTraceError"):
         from repro.obs import report
         return getattr(report, name)
+    if name == "render_profile":
+        from repro.obs.profile import render_profile
+        return render_profile
+    if name in ("compare_runs", "render_compare"):
+        from repro.obs import compare
+        return getattr(compare, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -23,6 +23,7 @@ from repro.obs.invariants import Checker, InvariantSuite, Violation
 from repro.obs.trace import TraceEvent, iter_jsonl
 
 __all__ = [
+    "EmptyTraceError",
     "check_trace",
     "render_check",
     "SpanRecord",
@@ -32,6 +33,18 @@ __all__ = [
 
 #: Cap on violations listed in full (the count is always exact).
 MAX_LISTED_VIOLATIONS = 50
+
+
+class EmptyTraceError(ValueError):
+    """A trace file with zero events: ``repro check`` / ``repro
+    report`` refuse to judge it (exit code 2) rather than emit an
+    all-pass verdict or a degenerate report over nothing."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(
+            f"{path}: empty trace (0 events) — nothing to analyse; "
+            f"was the run executed with --trace-out?")
+        self.path = path
 
 #: Point events worth a timeline row, with a one-line detail renderer.
 _MILESTONE_KINDS = (
@@ -58,6 +71,8 @@ def check_trace(path: str,
     for line_no, event in iter_jsonl(path):
         suite.observe(event, line_no)
     suite.finish()
+    if suite.events_seen == 0:
+        raise EmptyTraceError(path)
     return suite
 
 
@@ -162,6 +177,8 @@ def render_run_report(path: str, max_timeline_rows: int = 40) -> str:
         events.append(event)
         suite.observe(event, line_no)
     suite.finish()
+    if not events:
+        raise EmptyTraceError(path)
 
     times = [t for t in (_num(e.get("t")) for e in events) if t is not None]
     t0, t1 = (min(times), max(times)) if times else (None, None)

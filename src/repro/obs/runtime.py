@@ -16,6 +16,12 @@ members:
   fair-share solve, dirty-table insert).  Off by default so the
   per-operation cost of instrumentation is one ``if OBS.hot`` check;
   the CLI's ``--stats`` flag and perf investigations turn it on.
+* ``OBS.profiler`` — the optional
+  :class:`~repro.obs.profile.Profiler` attributing hierarchical
+  wall-clock + sim-time to named components (``--profile-out``).
+  ``None`` by default; call sites guard with
+  ``prof = OBS.profiler`` / ``if prof is not None`` so disabled
+  profiling costs one attribute load and a ``None`` check.
 
 Keeping the runtime global (rather than threading it through every
 constructor) mirrors how logging works: producers are unconditional,
@@ -36,17 +42,18 @@ class Runtime:
     """Bundle of trace bus + span tracker + metrics registry + hot-path
     switch."""
 
-    __slots__ = ("bus", "spans", "metrics", "hot")
+    __slots__ = ("bus", "spans", "metrics", "hot", "profiler")
 
     def __init__(self) -> None:
         self.bus = TraceBus()
         self.spans = SpanTracker(self.bus)
         self.metrics = MetricsRegistry()
         self.hot = False
+        self.profiler = None
 
     def reset(self) -> None:
         """Return to the pristine state: no sinks, empty registry, hot
-        profiling off, clock at zero, span ids rewound."""
+        profiling off, no profiler, clock at zero, span ids rewound."""
         for sink in list(self.bus.sinks):
             self.bus.detach(sink)
             sink.close()
@@ -54,6 +61,7 @@ class Runtime:
         self.spans.reset()
         self.metrics.reset()
         self.hot = False
+        self.profiler = None
 
 
 #: The singleton every instrumented module binds at import time.

@@ -142,7 +142,11 @@ def render_trace_stats(path: str, kind: Optional[str] = None,
     if top is not None:
         if top < 1:
             raise ValueError("--top must be >= 1")
-        kinds = sorted(kinds, key=lambda k: (-summary.kinds[k][3], k))
+        # Fully deterministic ranking: byte total desc, then event
+        # count desc, then name — kinds tying on every stat always
+        # appear in the same order regardless of arrival order.
+        kinds = sorted(kinds, key=lambda k: (-summary.kinds[k][3],
+                                             -summary.kinds[k][0], k))
         kinds = kinds[:top]
     rows = []
     for k in kinds:

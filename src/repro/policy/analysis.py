@@ -13,6 +13,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.cluster.power import PowerModel
+from repro.obs.runtime import OBS
 from repro.policy.ideal import ideal_servers
 from repro.policy.resizer import (
     PolicyConfig,
@@ -136,9 +137,20 @@ def analyze_trace(trace: LoadTrace,
             "dataset_bytes", default_dataset_bytes(trace))
         config = PolicyConfig(n_max=n_max, **config_overrides)
 
-    ideal = ideal_servers(trace.load, config.per_server_bw, config.n_max)
-    results = {name: simulate_policy(name, trace, config)
-               for name in POLICY_ORDER}
+    prof = OBS.profiler
+    if prof is None:
+        ideal = ideal_servers(trace.load, config.per_server_bw,
+                              config.n_max)
+        results = {name: simulate_policy(name, trace, config)
+                   for name in POLICY_ORDER}
+    else:
+        with prof.frame("policy:ideal"):
+            ideal = ideal_servers(trace.load, config.per_server_bw,
+                                  config.n_max)
+        results = {}
+        for name in POLICY_ORDER:
+            with prof.frame("policy:" + name):
+                results[name] = simulate_policy(name, trace, config)
     return TraceAnalysis(
         trace_name=trace.name,
         config=config,

@@ -52,11 +52,13 @@ __all__ = [
     "AGGREGATE_FILENAME",
     "MERGED_TRACE_FILENAME",
     "RUN_INFO_FILENAME",
+    "PROFILE_ROLLUP_FILENAME",
 ]
 
 AGGREGATE_FILENAME = "sweep.json"
 MERGED_TRACE_FILENAME = "merged.jsonl"
 RUN_INFO_FILENAME = "run_info.json"
+PROFILE_ROLLUP_FILENAME = "profile_rollup.json"
 
 #: Poll interval of the completion loop (wall seconds).
 _POLL_SECONDS = 0.05
@@ -93,6 +95,9 @@ class SweepResult:
     retries: int
     aggregate_path: Path
     merged_trace_path: Path
+    #: Sweep-level hotspot rollup (wall-clock, quarantined like
+    #: run_info.json); None unless the sweep profiled its tasks.
+    profile_rollup_path: Optional[Path] = None
 
     @property
     def ok(self) -> bool:
@@ -134,13 +139,21 @@ class SweepRunner:
         Optional simulation-time window for the per-task
         ``events_in_window`` counts of the aggregate.  ``since`` must
         not exceed ``until`` (same guard as ``repro stats``).
+    profile:
+        Run every task with the instrumentation profiler attached:
+        each task dir gains a ``profile.json`` and the sweep writes a
+        ``profile_rollup.json`` aggregating the per-task hotspot maps
+        **by task id** (never completion order).  Wall-clock only —
+        the deterministic artefacts (``sweep.json``,
+        ``merged.jsonl``, traces) are byte-identical either way.
     """
 
     def __init__(self, workers: int = 1,
                  retry: Optional[RetryPolicy] = None,
                  task_timeout: Optional[float] = None,
                  since: Optional[float] = None,
-                 until: Optional[float] = None) -> None:
+                 until: Optional[float] = None,
+                 profile: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if task_timeout is not None and task_timeout <= 0:
@@ -152,6 +165,7 @@ class SweepRunner:
         self.task_timeout = task_timeout
         self.since = since
         self.until = until
+        self.profile = bool(profile)
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[TaskSpec], out_dir) -> SweepResult:
@@ -173,11 +187,14 @@ class SweepRunner:
         ordered = [results[tid] for tid in sorted(results)]
         aggregate_path = self._write_aggregate(ordered, out)
         merged_path = self._write_merged_trace(ordered, out)
+        rollup_path = (self._write_profile_rollup(ordered, out)
+                       if self.profile else None)
         result = SweepResult(
             out_dir=out, tasks=ordered, workers=self.workers,
             wall_seconds=wall, retries=retries,
             aggregate_path=aggregate_path,
-            merged_trace_path=merged_path)
+            merged_trace_path=merged_path,
+            profile_rollup_path=rollup_path)
         # Run facts that legitimately differ between runs (wall clock,
         # pool size) stay out of the deterministic aggregate.
         (out / RUN_INFO_FILENAME).write_text(json.dumps(
@@ -258,7 +275,7 @@ class SweepRunner:
                                 if self.task_timeout else float("inf"))
                     future = executor.submit(
                         worker_mod.run_task, spec.to_dict(), str(out),
-                        attempt)
+                        attempt, self.profile)
                     running[future] = (spec, attempt, deadline)
 
                 if not running:
@@ -409,6 +426,62 @@ class SweepRunner:
                          / worker_mod.TRACE_FILENAME)
                 if trace.exists():
                     fh.write(trace.read_text(encoding="utf-8"))
+        return path
+
+    @staticmethod
+    def _write_profile_rollup(ordered: List[TaskResult], out: Path
+                              ) -> Path:
+        """Aggregate the per-task ``profile.json`` documents by task id
+        into a sweep-level ``repro.profile`` document: each task's
+        frame tree becomes a child named by its task id, and the flat
+        hotspot maps are summed across tasks — so ``repro profile``
+        reads the rollup directly.  Wall-clock data: quarantined from
+        the deterministic surface, like ``run_info.json``."""
+        flat: Dict[str, Dict[str, float]] = {}
+        children: List[Dict[str, object]] = []
+        per_task: Dict[str, Dict[str, object]] = {}
+        total_wall = total_sim = 0.0
+        for result in ordered:
+            p = (out / result.spec.task_id
+                 / worker_mod.PROFILE_FILENAME)
+            try:
+                doc = json.loads(p.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue              # failed task: no profile to fold in
+            if not isinstance(doc, dict) \
+                    or doc.get("kind") != "repro.profile":
+                continue
+            wall = float(doc.get("total_wall_s") or 0.0)
+            sim = float(doc.get("total_sim_s") or 0.0)
+            total_wall += wall
+            total_sim += sim
+            per_task[result.spec.task_id] = {
+                "total_wall_s": wall, "total_sim_s": sim}
+            root = dict(doc.get("root") or {})
+            root["name"] = result.spec.task_id
+            children.append(root)
+            for name, agg in sorted((doc.get("flat") or {}).items()):
+                slot = flat.setdefault(name, {
+                    "calls": 0, "wall_s": 0.0, "self_s": 0.0,
+                    "sim_s": 0.0})
+                for key in slot:
+                    slot[key] += agg.get(key, 0)
+        rollup = {
+            "kind": "repro.profile",
+            "version": 1,
+            "command": "sweep",
+            "total_wall_s": total_wall,
+            "total_sim_s": total_sim,
+            "unattributed_s": 0.0,
+            "root": {"name": "run", "calls": len(children),
+                     "wall_s": total_wall, "self_s": 0.0,
+                     "sim_s": 0.0, "children": children},
+            "flat": flat,
+            "per_task": per_task,
+        }
+        path = out / PROFILE_ROLLUP_FILENAME
+        path.write_text(json.dumps(rollup, indent=2, sort_keys=True)
+                        + "\n")
         return path
 
 

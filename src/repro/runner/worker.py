@@ -34,7 +34,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.experiments import run_three_phase, run_trace_analysis
 from repro.faults import FaultPlan, run_chaos
-from repro.obs import JSONLSink, OBS
+from repro.obs import JSONLSink, OBS, Profiler, profile_document
 from repro.obs.invariants import CheckerSink
 from repro.runner.spec import TaskSpec
 
@@ -44,11 +44,13 @@ __all__ = [
     "TRACE_FILENAME",
     "METRICS_FILENAME",
     "OUTCOME_FILENAME",
+    "PROFILE_FILENAME",
 ]
 
 TRACE_FILENAME = "trace.jsonl"
 METRICS_FILENAME = "metrics.json"
 OUTCOME_FILENAME = "outcome.json"
+PROFILE_FILENAME = "profile.json"
 
 #: Violations listed per task in the aggregate (the count stays exact).
 MAX_LISTED_VIOLATIONS = 50
@@ -181,13 +183,17 @@ EXPERIMENTS: Dict[str, Callable[[TaskSpec, int], Tuple[Dict, bool]]] = {
 # the entry point
 # ----------------------------------------------------------------------
 def run_task(spec_dict: Dict[str, object], out_dir: str,
-             attempt: int = 1) -> Dict[str, object]:
+             attempt: int = 1, profile: bool = False) -> Dict[str, object]:
     """Execute one task in the current process and return its outcome.
 
     Takes the spec as a plain dict (cheapest thing to pickle across
     the pool boundary); *attempt* is the 1-based launch ordinal so
     retried tasks can be distinguished — and so the test-only selftest
-    kind can fail deterministically on early attempts.
+    kind can fail deterministically on early attempts.  With *profile*
+    a per-task ``profile.json`` lands next to the trace; like
+    ``run_info.json`` it holds wall-clock data and is **not** part of
+    the deterministic surface (the trace and outcome are byte-identical
+    either way).
     """
     spec = TaskSpec.from_dict(spec_dict)
     fn = EXPERIMENTS.get(spec.kind)
@@ -206,12 +212,25 @@ def run_task(spec_dict: Dict[str, object], out_dir: str,
     checker = CheckerSink()
     OBS.bus.attach(sink)
     OBS.bus.attach(checker)
+    profiler = None
+    if profile:
+        profiler = Profiler()
+        OBS.profiler = profiler
+        profiler.push(f"task:{spec.kind}")
     try:
         summary, healthy = fn(spec, attempt)
     finally:
+        OBS.profiler = None
         OBS.bus.detach(checker)
         OBS.bus.detach(sink)
         sink.close()
+    if profiler is not None:
+        profiler.stop()
+        doc = profile_document(profiler, command=f"sweep:{spec.kind}",
+                               meta={"task": spec.task_id,
+                                     "attempt": attempt})
+        (task_dir / PROFILE_FILENAME).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
     violations = [v.describe() for v in checker.finish()]
     metrics = OBS.metrics.snapshot()

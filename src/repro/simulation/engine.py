@@ -142,7 +142,17 @@ class Simulator:
                 bus.clock = ev.time
                 bus.emit("engine.event", t=ev.time, seq=ev.seq,
                          fn=getattr(ev.fn, "__qualname__", repr(ev.fn)))
-            ev.fn(*ev.args)
+            prof = OBS.profiler
+            if prof is not None:
+                prof.advance_sim(ev.time)
+                prof.push("engine:" + getattr(
+                    ev.fn, "__qualname__", repr(ev.fn)))
+                try:
+                    ev.fn(*ev.args)
+                finally:
+                    prof.pop()
+            else:
+                ev.fn(*ev.args)
             return True
         return False
 
@@ -166,3 +176,6 @@ class Simulator:
         if bus.active:
             bus.clock = t
             bus.emit("engine.clock", t=t, pending=self.pending)
+        prof = OBS.profiler
+        if prof is not None:
+            prof.advance_sim(t)

@@ -194,11 +194,18 @@ class FlowSet:
             return {}
         specs = [FlowSpec(coefficients=f.coefficients,
                           demand=f.demand_for(dt)) for f in live]
-        if OBS.hot:
-            with OBS.metrics.timer("perf.bandwidth.solve"):
+        prof = OBS.profiler
+        if prof is not None:
+            prof.push("bandwidth.max_min_fair")
+        try:
+            if OBS.hot:
+                with OBS.metrics.timer("perf.bandwidth.solve"):
+                    rates = max_min_fair(specs, capacities)
+            else:
                 rates = max_min_fair(specs, capacities)
-        else:
-            rates = max_min_fair(specs, capacities)
+        finally:
+            if prof is not None:
+                prof.pop()
         bus = OBS.bus
         if bus.active:
             # Per-resource utilisation of this tick's allocation — the

@@ -118,8 +118,16 @@ class IOModel:
         """Advance one tick ending at *now* and record the sample."""
         bus = OBS.bus
         bus.clock = now
-        capacities = dict(self.capacity_fn())
-        achieved = self.flows.advance(self.dt, capacities)
+        prof = OBS.profiler
+        if prof is not None:
+            prof.advance_sim(now)
+            prof.push("io.step")
+        try:
+            capacities = dict(self.capacity_fn())
+            achieved = self.flows.advance(self.dt, capacities)
+        finally:
+            if prof is not None:
+                prof.pop()
         self.samples.append((now, achieved))
         OBS.metrics.inc("engine.ticks")
         OBS.metrics.gauge("io.live_flows").set(len(self.flows))

@@ -1,0 +1,295 @@
+"""The instrumentation profiler: frame accounting, sim attribution,
+export formats, determinism, and the null-profiler overhead guard."""
+
+import hashlib
+import json
+from time import perf_counter
+
+import pytest
+
+from repro.cli import main
+from repro.obs import OBS
+from repro.obs.profile import (
+    ProfileError,
+    Profiler,
+    collapsed_stacks,
+    flatten,
+    load_profile,
+    profile_document,
+    profiled,
+    render_profile,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by `step` seconds."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        t = self.t
+        self.t += self.step
+        return t
+
+
+def sha256(path):
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class TestFrameAccounting:
+    def test_self_vs_cumulative(self):
+        # Manual clock: push/pop boundaries land at known instants.
+        clock = FakeClock(step=0.0)
+        prof = Profiler(clock=clock)
+
+        def at(t):
+            clock.t = t
+
+        at(10.0); prof.push("outer")          # noqa: E702
+        at(12.0); prof.push("inner")          # noqa: E702
+        at(17.0); prof.pop()                  # inner: 5 s  # noqa: E702
+        at(20.0); prof.pop()                  # outer: 10 s total  # noqa: E702
+        at(20.0); prof.stop()                 # noqa: E702
+
+        flat = prof.flat()
+        assert flat["inner"]["wall_s"] == 5.0
+        assert flat["inner"]["self_s"] == 5.0
+        assert flat["outer"]["wall_s"] == 10.0
+        assert flat["outer"]["self_s"] == 5.0   # 10 minus inner's 5
+        assert flat["outer"]["calls"] == 1
+
+    def test_repeated_frames_aggregate(self):
+        clock = FakeClock(step=1.0)   # every clock read advances 1 s
+        prof = Profiler(clock=clock)
+        for _ in range(3):
+            prof.push("kernel.locate")
+            prof.pop()
+        prof.stop()
+        flat = prof.flat()
+        assert flat["kernel.locate"]["calls"] == 3
+        assert flat["kernel.locate"]["wall_s"] == 3.0
+
+    def test_same_name_at_different_depths_sums_in_flat(self):
+        clock = FakeClock(step=0.0)
+        prof = Profiler(clock=clock)
+
+        def at(t):
+            clock.t = t
+
+        at(0.0); prof.push("a")               # noqa: E702
+        at(0.0); prof.push("x")               # noqa: E702
+        at(2.0); prof.pop()                   # a;x = 2  # noqa: E702
+        at(3.0); prof.pop()                   # noqa: E702
+        at(3.0); prof.push("x")               # noqa: E702
+        at(4.0); prof.pop()                   # x = 1  # noqa: E702
+        at(4.0); prof.stop()                  # noqa: E702
+        flat = prof.flat()
+        assert flat["x"]["calls"] == 2
+        assert flat["x"]["wall_s"] == 3.0
+
+    def test_pop_without_push_raises(self):
+        prof = Profiler()
+        with pytest.raises(RuntimeError, match="pop without"):
+            prof.pop()
+
+    def test_stop_closes_open_frames(self):
+        prof = Profiler()
+        prof.push("a")
+        prof.push("b")
+        prof.stop()
+        assert prof.depth == 0
+        assert prof.flat()["b"]["calls"] == 1
+
+    def test_frame_context_manager_pops_on_error(self):
+        prof = Profiler()
+        with pytest.raises(ValueError):
+            with prof.frame("risky"):
+                raise ValueError("boom")
+        assert prof.depth == 0
+        prof.stop()
+        assert prof.flat()["risky"]["calls"] == 1
+
+
+class TestSimAttribution:
+    def test_sim_delta_charged_to_innermost_frame(self):
+        prof = Profiler(clock=FakeClock(step=0.0))
+        prof.advance_sim(0.0)         # baseline only
+        prof.push("engine:tick")
+        prof.advance_sim(5.0)         # 5 sim-seconds inside the frame
+        prof.pop()
+        prof.advance_sim(7.0)         # 2 more at root
+        prof.stop()
+        flat = prof.flat()
+        assert flat["engine:tick"]["sim_s"] == 5.0
+        assert prof.total_sim == 7.0
+
+    def test_backwards_clock_rebaselines(self):
+        # A fresh Simulator in the same run restarts its clock at 0;
+        # that must not charge negative sim time.
+        prof = Profiler(clock=FakeClock(step=0.0))
+        prof.advance_sim(0.0)
+        prof.advance_sim(10.0)
+        prof.advance_sim(0.0)         # new simulator
+        prof.advance_sim(3.0)
+        prof.stop()
+        assert prof.total_sim == 13.0
+
+
+class TestExport:
+    def _document(self):
+        clock = FakeClock(step=0.0)
+        prof = Profiler(clock=clock)
+
+        def at(t):
+            clock.t = t
+
+        at(0.0); prof.push("cmd:x")           # noqa: E702
+        at(1.0); prof.push("kernel.locate")   # noqa: E702
+        at(3.0); prof.pop()                   # noqa: E702
+        at(4.0); prof.pop()                   # noqa: E702
+        at(4.0); prof.stop()                  # noqa: E702
+        return profile_document(prof, command="x")
+
+    def test_document_shape(self):
+        doc = self._document()
+        assert doc["kind"] == "repro.profile"
+        assert doc["total_wall_s"] == 4.0
+        assert doc["root"]["name"] == "run"
+        assert doc["flat"]["kernel.locate"]["self_s"] == 2.0
+
+    def test_collapsed_stack_format(self):
+        lines = collapsed_stacks(self._document()["root"])
+        # flamegraph.pl's collapsed format: 'frame;frame <int>' with a
+        # positive integer count (self-microseconds here).
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert all(frame for frame in stack.split(";"))
+        assert "run;cmd:x;kernel.locate 2000000" in lines
+
+    def test_load_profile_round_trip(self, tmp_path):
+        doc = self._document()
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(doc))
+        loaded = load_profile(str(path))
+        assert flatten(loaded)["cmd:x"]["wall_s"] == 4.0
+
+    def test_load_profile_rejects_non_profiles(self, tmp_path):
+        path = tmp_path / "not.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ProfileError, match="not a repro profile"):
+            load_profile(str(path))
+        with pytest.raises(ProfileError):
+            load_profile(str(tmp_path / "missing.json"))
+
+    def test_render_profile_attribution_line(self):
+        text = render_profile(self._document(), top=5)
+        assert "100.0% attributed" in text
+        assert "kernel.locate" in text
+
+
+class TestProfiledDecorator:
+    def test_frames_only_when_profiler_active(self):
+        calls = []
+
+        @profiled("decorated.fn")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert fn(3) == 6          # no profiler: plain call
+        prof = Profiler()
+        OBS.profiler = prof
+        try:
+            assert fn(4) == 8
+        finally:
+            OBS.profiler = None
+        prof.stop()
+        assert prof.flat()["decorated.fn"]["calls"] == 1
+        assert calls == [3, 4]
+
+
+class TestDeterminism:
+    """Same-seed runs with --profile-out produce byte-identical traces
+    (the acceptance criterion: wall-clock data never leaks into the
+    deterministic surface)."""
+
+    def test_same_seed_traces_identical_with_profiling(
+            self, tmp_path, capsys):
+        t_plain = tmp_path / "plain.jsonl"
+        t_prof = tmp_path / "prof.jsonl"
+        OBS.reset()   # fresh span counters: in-process reruns share OBS
+        assert main(["chaos", "--seed", "11", "--scale", "0.05",
+                     "--trace-out", str(t_plain)]) == 0
+        OBS.reset()
+        assert main(["chaos", "--seed", "11", "--scale", "0.05",
+                     "--trace-out", str(t_prof),
+                     "--profile-out", str(tmp_path / "p.json")]) == 0
+        capsys.readouterr()
+        assert sha256(t_plain) == sha256(t_prof)
+        doc = json.loads((tmp_path / "p.json").read_text())
+        assert doc["kind"] == "repro.profile"
+        assert doc["flat"]          # something was attributed
+
+    def test_profile_attributes_95_percent(self, tmp_path, capsys):
+        # The acceptance bar: ≥95% of measured wall-clock lands on
+        # named components (the command frame guarantees it).
+        out = tmp_path / "p.json"
+        assert main(["trace", "--which", "CC-a",
+                     "--profile-out", str(out)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        total = doc["total_wall_s"]
+        attributed = total - doc["unattributed_s"]
+        assert attributed / total >= 0.95
+        # ...and the paper-relevant components all appear.
+        flat = doc["flat"]
+        assert "workload.generate" in flat
+        assert any(k.startswith("policy:") for k in flat)
+
+
+class TestNullProfilerOverhead:
+    """Mirror of the null-sink guard: a disabled profiler must add only
+    an attribute load + None check to the hot paths."""
+
+    def _per_call(self, fn, n):
+        t0 = perf_counter()
+        for _ in range(n):
+            fn()
+        return (perf_counter() - t0) / n
+
+    def test_guard_cost_when_off(self, ech10):
+        assert OBS.profiler is None
+        # The exact guard idiom used at every call site.
+        def guarded():
+            prof = OBS.profiler
+            if prof is not None:      # pragma: no cover
+                prof.push("x")
+                prof.pop()
+        cost = self._per_call(guarded, 50_000)
+        # Loose absolute bound, same spirit as the no-sink emit guard
+        # (2 us, ~20x headroom over an attribute load on slow CI).
+        assert cost < 2e-6, f"null-profiler guard {cost * 1e9:.0f} ns"
+
+    def test_locate_unaffected_when_off(self, ech10):
+        assert OBS.profiler is None
+        base = self._per_call(lambda: ech10.locate(42), 2_000)
+        # No assertion against `base` itself (machine-dependent); the
+        # point is the guard branch above plus this smoke check that
+        # locate still runs with no profiler attached.
+        assert base > 0
+        assert ech10.locate(42) == ech10.locate(42)
+
+    def test_push_pop_cost_when_on(self):
+        prof = Profiler()
+        def cycle():
+            prof.push("frame")
+            prof.pop()
+        cost = self._per_call(cycle, 20_000)
+        prof.stop()
+        # Active profiling pays two clock reads + dict work per frame;
+        # bounded loosely (20 us) so slow CI never flakes.
+        assert cost < 2e-5, f"active push/pop {cost * 1e9:.0f} ns"

@@ -7,6 +7,7 @@ import pytest
 
 from repro.cli import main
 from repro.obs.report import (
+    EmptyTraceError,
     check_trace,
     collect_spans,
     render_check,
@@ -104,9 +105,12 @@ class TestRunReport:
         assert "PASS" in report_text
         assert "**FAIL**" not in report_text
 
-    def test_empty_trace_renders(self, tmp_path):
+    def test_empty_trace_refused(self, tmp_path):
+        # A zero-event trace is a broken run, not an all-pass one: both
+        # analyses raise EmptyTraceError (the CLI maps it to exit 2).
         path = tmp_path / "empty.jsonl"
         path.write_text("")
-        text = render_run_report(str(path))
-        assert "0 trace events" in text
-        assert "no lifecycle milestones" in text
+        with pytest.raises(EmptyTraceError, match="empty trace"):
+            render_run_report(str(path))
+        with pytest.raises(EmptyTraceError, match="empty trace"):
+            check_trace(str(path))

@@ -234,3 +234,47 @@ class TestValidation:
         task = result.task("mystery")
         assert task.status == "failed"
         assert "unknown experiment kind" in task.error
+
+
+class TestProfiledSweep:
+    """``profile=True``: per-task wall-clock profiles plus a rollup,
+    with zero effect on the deterministic surface."""
+
+    @pytest.fixture(scope="class")
+    def profiled(self, tmp_path_factory):
+        specs = chaos_specs(2)
+        plain_dir = tmp_path_factory.mktemp("sweep-plain")
+        prof_dir = tmp_path_factory.mktemp("sweep-prof")
+        plain = SweepRunner(workers=1).run(specs, plain_dir)
+        prof = SweepRunner(workers=2, profile=True).run(specs, prof_dir)
+        return plain, prof
+
+    def test_per_task_profiles_written(self, profiled):
+        from repro.runner.worker import PROFILE_FILENAME
+        _, prof = profiled
+        for task in prof.tasks:
+            doc = json.loads(
+                (prof.out_dir / task.spec.task_id / PROFILE_FILENAME)
+                .read_text())
+            assert doc["kind"] == "repro.profile"
+            assert doc["meta"]["task"] == task.spec.task_id
+
+    def test_rollup_written_and_keyed_by_task_id(self, profiled):
+        _, prof = profiled
+        assert prof.profile_rollup_path is not None
+        doc = json.loads(prof.profile_rollup_path.read_text())
+        assert doc["kind"] == "repro.profile"
+        assert sorted(doc["per_task"]) == ["chaos-s000", "chaos-s001"]
+        assert [c["name"] for c in doc["root"]["children"]] \
+            == ["chaos-s000", "chaos-s001"]
+        assert doc["flat"]            # summed component table
+
+    def test_deterministic_surface_unchanged_by_profiling(self, profiled):
+        plain, prof = profiled
+        assert sha256(plain.aggregate_path) == sha256(prof.aggregate_path)
+        assert sha256(plain.merged_trace_path) \
+            == sha256(prof.merged_trace_path)
+
+    def test_unprofiled_sweep_has_no_rollup(self, two_sweeps):
+        r1, _ = two_sweeps
+        assert r1.profile_rollup_path is None

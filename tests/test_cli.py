@@ -289,3 +289,181 @@ class TestStatsWindowGuard:
         trace.write_text('{"kind": "tick", "t": 1.0}\n')
         with pytest.raises(SystemExit, match="empty time window"):
             main(["stats", str(trace), "--since", "5", "--until", "2"])
+
+
+class TestProfileCommand:
+    @pytest.fixture()
+    def profile_json(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert main(["chaos", "--seed", "7", "--scale", "0.05",
+                     "--profile-out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_profile_out_writes_document(self, profile_json):
+        import json
+        doc = json.loads(profile_json.read_text())
+        assert doc["kind"] == "repro.profile"
+        assert doc["command"] == "chaos"
+        assert "cmd:chaos" in doc["flat"]
+
+    def test_profile_out_noted_in_report(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main(["info", "--profile-out", str(path)]) == 0
+        assert "profile written to" in capsys.readouterr().out
+
+    def test_profile_subcommand_renders_hotspots(self, profile_json,
+                                                 capsys):
+        assert main(["profile", str(profile_json), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "% attributed" in out
+        assert "self(s)" in out or "self_s" in out or "cmd:chaos" in out
+
+    def test_profile_collapsed_file(self, profile_json, tmp_path,
+                                    capsys):
+        collapsed = tmp_path / "stacks.txt"
+        assert main(["profile", str(profile_json),
+                     "--collapsed", str(collapsed)]) == 0
+        capsys.readouterr()
+        lines = collapsed.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0 and stack
+
+    def test_profile_collapsed_stdout(self, profile_json, capsys):
+        assert main(["profile", str(profile_json),
+                     "--collapsed", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "run;cmd:chaos" in out
+
+    def test_profile_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope.json")]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_profile_wrong_shape_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "something.else"}')
+        assert main(["profile", str(path)]) == 2
+        assert "not a repro profile" in capsys.readouterr().err
+
+
+class TestCompareCommand:
+    @staticmethod
+    def _bench_json(path, median):
+        import json
+        path.write_text(json.dumps(
+            {"benches": {"bench_locate": {"median_s": median}}}))
+        return path
+
+    def test_compare_identical_is_ok(self, tmp_path, capsys):
+        a = self._bench_json(tmp_path / "a.json", 1.0)
+        b = self._bench_json(tmp_path / "b.json", 1.0)
+        assert main(["compare", str(a), str(b)]) == 0
+        assert "Verdict: OK" in capsys.readouterr().out
+
+    def test_compare_regression_exits_1(self, tmp_path, capsys):
+        a = self._bench_json(tmp_path / "a.json", 1.0)
+        b = self._bench_json(tmp_path / "b.json", 2.0)
+        assert main(["compare", str(a), str(b),
+                     "--threshold", "25"]) == 1
+        out = capsys.readouterr().out
+        assert "Verdict: REGRESSED" in out
+        assert "bench_locate" in out
+
+    def test_compare_threshold_is_percent(self, tmp_path, capsys):
+        a = self._bench_json(tmp_path / "a.json", 1.0)
+        b = self._bench_json(tmp_path / "b.json", 2.0)
+        assert main(["compare", str(a), str(b),
+                     "--threshold", "200"]) == 0
+        capsys.readouterr()
+
+    def test_compare_run_dirs_same_seed(self, tmp_path, capsys):
+        from repro.obs import OBS
+        for name in ("a", "b"):
+            d = tmp_path / name
+            d.mkdir()
+            OBS.reset()
+            assert main(["chaos", "--seed", "5", "--scale", "0.05",
+                         "--trace-out", str(d / "trace.jsonl")]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(tmp_path / "a"),
+                     str(tmp_path / "b")]) == 0
+        out = capsys.readouterr().out
+        assert "Verdict: OK" in out
+        # Same-seed sim-derived sections are byte-reproducible.
+        assert "identical." in out
+
+    def test_compare_missing_path_is_clean_error(self, tmp_path, capsys):
+        a = self._bench_json(tmp_path / "a.json", 1.0)
+        assert main(["compare", str(a),
+                     str(tmp_path / "nope.json")]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_compare_negative_threshold_rejected(self, tmp_path):
+        a = self._bench_json(tmp_path / "a.json", 1.0)
+        with pytest.raises(SystemExit, match="threshold"):
+            main(["compare", str(a), str(a), "--threshold", "-5"])
+
+    def test_sweep_profile_rollup(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        rollup = tmp_path / "rollup.json"
+        assert main(["sweep", "--kind", "chaos", "--seeds", "0,1",
+                     "--workers", "2", "--out", str(out),
+                     "--n", "4", "--off-count", "1", "--scale", "0.02",
+                     "--profile-out", str(rollup)]) == 0
+        report = capsys.readouterr().out
+        assert "profile rollup" in report
+        assert (out / "chaos-s000" / "profile.json").exists()
+        import json
+        doc = json.loads(rollup.read_text())
+        assert doc["kind"] == "repro.profile"
+        assert sorted(doc["per_task"]) == ["chaos-s000", "chaos-s001"]
+        # The rollup is a valid input to `repro profile`.
+        capsys.readouterr()
+        assert main(["profile", str(rollup)]) == 0
+        assert "task:chaos" in capsys.readouterr().out
+
+
+class TestEmptyTraceRefusal:
+    """`repro report`/`repro check` on an empty trace: a clear message
+    and exit 2, not a vacuous success."""
+
+    @pytest.fixture()
+    def empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        return str(path)
+
+    def test_report_refuses_empty_trace(self, empty, capsys):
+        assert main(["report", empty]) == 2
+        err = capsys.readouterr().err
+        assert "empty trace (0 events)" in err
+        assert "Traceback" not in err
+
+    def test_check_refuses_empty_trace(self, empty, capsys):
+        assert main(["check", empty]) == 2
+        err = capsys.readouterr().err
+        assert "empty trace (0 events)" in err
+
+
+class TestStatsTopTieBreak:
+    def test_tied_kinds_rank_in_name_order(self, tmp_path, capsys):
+        # Three kinds, all tied on bytes (none) and count (1): --top
+        # must slice them in name order, every run.
+        path = tmp_path / "ties.jsonl"
+        path.write_text('{"kind":"zeta","t":1.0}\n'
+                        '{"kind":"alpha","t":2.0}\n'
+                        '{"kind":"mid","t":3.0}\n')
+        assert main(["stats", str(path), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "mid" in out
+        assert "zeta" not in out
+
+    def test_bytes_rank_beats_name(self, tmp_path, capsys):
+        path = tmp_path / "ranked.jsonl"
+        path.write_text('{"kind":"small","t":1.0,"nbytes":10}\n'
+                        '{"kind":"big","t":2.0,"nbytes":1000000000}\n')
+        assert main(["stats", str(path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "big" in out and "small" not in out

@@ -67,6 +67,14 @@ SURFACE = {
         "PlannedTransfer", "TransferJob", "TransferManager",
         "ChaosResult", "run_chaos", "render_chaos_report",
     ],
+    "repro.obs": [
+        "OBS", "TraceBus", "JSONLSink", "MetricsRegistry",
+        "InvariantSuite", "TraceParseError", "EmptyTraceError",
+        "Profiler", "ProfileNode", "ProfileError", "profile_document",
+        "collapsed_stacks", "load_profile", "render_profile",
+        "compare_runs", "render_compare", "render_run_report",
+        "render_trace_stats", "check_trace", "render_check",
+    ],
     "repro.runner": [
         "TaskSpec", "TaskResult", "SweepRunner", "SweepResult",
         "render_sweep_report", "run_task",
