@@ -16,7 +16,9 @@ the JSON documents into *DIR* instead of the default reports tree.
 Every structured report is also **appended** to the bench-history
 store, ``<json dir>/history/<name>.jsonl`` — one line per run,
 carrying the same data plus attribution metadata (git sha, python
-version, platform tag) in a side channel.  The ``<name>.json``
+version, platform tag) in a side channel.  Re-running at the same git
+sha replaces that sha's last line rather than duplicating it, so the
+history holds at most one fresh measurement per ``{bench, commit}``.  The ``<name>.json``
 document itself stays byte-identical run to run for identical data:
 the metadata lives only in the history lines, so the perf trajectory
 is queryable without perturbing the diffable artefacts.
@@ -70,16 +72,45 @@ def append_history(name: str, data: dict,
                    meta: Optional[dict] = None) -> Path:
     """Append one ``{"name", "meta", "data"}`` line to the bench's
     history JSONL.  Compact single-line JSON with sorted keys, so the
-    store is both greppable and loadable line by line."""
+    store is both greppable and loadable line by line.
+
+    Re-running a bench at the same git sha **replaces** the last line
+    with that ``{name, git_sha}`` instead of appending a duplicate:
+    the history tracks the trajectory across commits, and the freshest
+    measurement at a commit supersedes earlier ones.  Lines from other
+    shas (or with no sha at all) are never touched.
+    """
     directory = history_dir()
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.jsonl"
-    line = {"name": name,
-            "meta": meta if meta is not None else run_metadata(),
-            "data": data}
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(line, sort_keys=True,
-                            separators=(",", ":"), default=repr) + "\n")
+    meta = meta if meta is not None else run_metadata()
+    encoded = json.dumps({"name": name, "meta": meta, "data": data},
+                         sort_keys=True, separators=(",", ":"),
+                         default=repr) + "\n"
+    sha = meta.get("git_sha") if isinstance(meta, dict) else None
+    lines = []
+    if path.exists():
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    replace_at = None
+    if sha is not None:
+        for i in range(len(lines) - 1, -1, -1):
+            try:
+                entry = json.loads(lines[i])
+            except ValueError:
+                continue
+            entry_meta = entry.get("meta")
+            if (entry.get("name") == name and isinstance(entry_meta, dict)
+                    and entry_meta.get("git_sha") == sha):
+                replace_at = i
+                break
+    if replace_at is None:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(encoded)
+    else:
+        lines[replace_at] = encoded
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines)
     return path
 
 

@@ -12,7 +12,9 @@
     python -m repro sweep --kind chaos --seeds 0,1,2,3 --workers 4 --out sweep-out
     python -m repro stats run.jsonl --kind migration. --top 5
     python -m repro check run.jsonl
-    python -m repro report run.jsonl
+    python -m repro report run.jsonl --since 60 --until 120
+    python -m repro timeline run.jsonl --bin 10 \\
+        --json analytics.json --html dashboard.html
     python -m repro chaos --seed 7 --profile-out prof.json
     python -m repro profile prof.json --top 10 --collapsed prof.folded
     python -m repro compare run-a/ run-b/ --threshold 10
@@ -76,7 +78,16 @@ from repro.metrics.report import (
     render_table,
 )
 from repro.obs import JSONLSink, OBS
+from repro.obs.analytics import (
+    ANALYTICS_KIND,
+    AnalyticsError,
+    analytics_from_trace,
+    dump_analytics,
+    load_analytics,
+    render_timeline,
+)
 from repro.obs.compare import CompareError, compare_runs, render_compare
+from repro.obs.dashboard import write_dashboard
 from repro.obs.invariants import CheckerSink
 from repro.obs.profile import (
     ProfileError,
@@ -210,11 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["none", "original", "full", "selective"],
                    help="three-phase: re-integration mode")
     p.add_argument("--since", type=float, default=None, metavar="T",
-                   help="aggregate: count per-task events at "
-                        "simulation time >= T seconds")
+                   help="aggregate: count per-task events in the "
+                        "half-open window [T, --until)")
     p.add_argument("--until", type=float, default=None, metavar="T",
                    help="aggregate: count per-task events at "
-                        "simulation time <= T seconds")
+                        "simulation time < T seconds (exclusive)")
     p.add_argument("--profile-out", metavar="PATH", default=None,
                    help="profile every task (per-task profile.json) "
                         "and write the sweep-level hotspot rollup, "
@@ -228,9 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only this event kind (trailing '.' = prefix match,"
                         " e.g. 'migration.')")
     p.add_argument("--since", type=float, default=None, metavar="T",
-                   help="only events at simulation time >= T seconds")
+                   help="only events in the half-open window "
+                        "[T, --until): simulation time >= T seconds")
     p.add_argument("--until", type=float, default=None, metavar="T",
-                   help="only events at simulation time <= T seconds")
+                   help="only events at simulation time < T seconds "
+                        "(exclusive upper bound)")
     p.add_argument("--top", type=int, default=None, metavar="N",
                    help="keep only the N kinds with the largest byte "
                         "totals, sorted by bytes descending")
@@ -247,6 +260,46 @@ def build_parser() -> argparse.ArgumentParser:
                             "from a JSONL trace")
     p.add_argument("trace_file", metavar="TRACE.jsonl",
                    help="trace file produced by --trace-out")
+    p.add_argument("--since", type=float, default=None, metavar="T",
+                   help="presentation window [T, --until), half-open; "
+                        "invariants always check the full stream")
+    p.add_argument("--until", type=float, default=None, metavar="T",
+                   help="presentation window upper bound (exclusive)")
+
+    p = sub.add_parser("timeline",
+                       help="build windowed time-series, flow-latency "
+                            "percentiles and critical paths from a "
+                            "JSONL trace (or re-render a saved "
+                            "analytics.json); optionally emit the "
+                            "analytics JSON document and a "
+                            "self-contained HTML dashboard")
+    p.add_argument("input", metavar="TRACE.jsonl|analytics.json",
+                   help="a JSONL trace written by --trace-out, or a "
+                        "previously saved repro.analytics JSON "
+                        "document (re-rendered without rebuilding)")
+    p.add_argument("--bin", type=float, default=10.0, metavar="S",
+                   dest="bin_seconds",
+                   help="time-series bin width in simulated seconds "
+                        "(default 10); bins are half-open, anchored "
+                        "at --since (or 0)")
+    p.add_argument("--since", type=float, default=None, metavar="T",
+                   help="analysis window [T, --until), half-open — "
+                        "the same predicate as repro stats")
+    p.add_argument("--until", type=float, default=None, metavar="T",
+                   help="analysis window upper bound (exclusive)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   dest="json_out",
+                   help="write the versioned repro.analytics JSON "
+                        "document to PATH (canonical bytes: "
+                        "same-seed runs produce identical files)")
+    p.add_argument("--html", metavar="PATH", default=None,
+                   dest="html_out",
+                   help="write the dependency-free HTML dashboard "
+                        "(inline SVG, no scripts) to PATH")
+    p.add_argument("--check-only", action="store_true",
+                   help="validate the input and print a one-line "
+                        "summary instead of the full report; exit 0 "
+                        "iff the document is structurally sound")
 
     p = sub.add_parser("profile",
                        help="render the hotspot report for a profile "
@@ -476,7 +529,54 @@ def _cmd_check(args):
 
 
 def _cmd_report(args) -> str:
-    return render_run_report(args.trace_file)
+    try:
+        return render_run_report(args.trace_file, since=args.since,
+                                 until=args.until)
+    except (TraceParseError, EmptyTraceError):
+        raise                      # main() reports these with exit 2
+    except ValueError as exc:
+        raise SystemExit(f"repro report: {exc}")
+
+
+def _cmd_timeline(args) -> str:
+    """``repro timeline``: build (from a trace) or reload (from a
+    saved document) the analytics, then render/emit as asked."""
+    if args.input.endswith(".json"):
+        doc = load_analytics(args.input)
+        built = False
+    else:
+        try:
+            doc = analytics_from_trace(args.input,
+                                       bin_seconds=args.bin_seconds,
+                                       since=args.since,
+                                       until=args.until)
+        except (TraceParseError, EmptyTraceError, AnalyticsError):
+            raise                  # main() reports these with exit 2
+        except ValueError as exc:
+            raise SystemExit(f"repro timeline: {exc}")
+        built = True
+
+    extras: List[str] = []
+    if args.json_out is not None:
+        dump_analytics(doc, args.json_out)
+        extras.append(f"analytics written to {args.json_out}")
+    if args.html_out is not None:
+        if doc.get("kind") != ANALYTICS_KIND:
+            raise SystemExit(
+                "repro timeline: --html needs a single-run analytics "
+                "document (rollups have no dashboard yet)")
+        write_dashboard(doc, args.html_out)
+        extras.append(f"dashboard written to {args.html_out}")
+
+    if args.check_only:
+        verb = "built" if built else "validated"
+        report = (f"{args.input}: {verb} {doc['kind']} v"
+                  f"{doc['version']} — {doc['bins']} bin(s), OK")
+    else:
+        report = render_timeline(doc)
+    if extras:
+        report += "\n" + "\n".join(f"- {line}" for line in extras)
+    return report
 
 
 def _cmd_profile(args):
@@ -519,6 +619,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "check": _cmd_check,
     "report": _cmd_report,
+    "timeline": _cmd_timeline,
     "profile": _cmd_profile,
     "compare": _cmd_compare,
 }
@@ -588,7 +689,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                       f"({checker_sink.suite.events_seen} events)",
                       file=sys.stderr)
     except (TraceParseError, EmptyTraceError, ProfileError,
-            CompareError) as exc:
+            CompareError, AnalyticsError) as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:

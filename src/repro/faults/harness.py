@@ -232,9 +232,11 @@ def run_chaos(
             _, degraded = cluster.read_with_fallback(oid)
         except LookupError:
             state["unavailable_reads"] += 1
+            OBS.bus.emit("read.unavailable", t=now, oid=oid)
             return
         if degraded:
             state["degraded_reads"] += 1
+            OBS.bus.emit("read.degraded", t=now, oid=oid)
 
     # ------------------------------------------------------------------
     # transfers

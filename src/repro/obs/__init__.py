@@ -20,6 +20,11 @@ The observability layer under every experiment and benchmark:
 * :mod:`~repro.obs.compare` — the ``repro compare`` run-vs-run diff
   (metrics, span distributions, profile hotspots, bench JSON) with
   regression thresholds;
+* :mod:`~repro.obs.analytics` — the ``repro timeline`` windowed
+  time-series / latency-percentile / critical-path builder
+  (``repro.analytics`` documents and cross-sweep rollups);
+* :mod:`~repro.obs.dashboard` — the dependency-free, byte-deterministic
+  HTML dashboard rendered from one analytics document;
 * :data:`~repro.obs.runtime.OBS` — the process-wide runtime binding
   them, plus the ``hot`` switch for wall-clock ``perf.*`` timers on
   the hot paths (ring lookup, placement, fair-share solve).
@@ -107,6 +112,17 @@ __all__ = [
     "EmptyTraceError",
     "compare_runs",
     "render_compare",
+    "AnalyticsError",
+    "build_analytics",
+    "analytics_from_trace",
+    "merge_analytics",
+    "validate_analytics",
+    "load_analytics",
+    "dump_analytics",
+    "render_timeline",
+    "percentile",
+    "render_dashboard",
+    "write_dashboard",
 ]
 
 
@@ -128,4 +144,12 @@ def __getattr__(name: str):
     if name in ("compare_runs", "render_compare"):
         from repro.obs import compare
         return getattr(compare, name)
+    if name in ("AnalyticsError", "build_analytics", "analytics_from_trace",
+                "merge_analytics", "validate_analytics", "load_analytics",
+                "dump_analytics", "render_timeline", "percentile"):
+        from repro.obs import analytics
+        return getattr(analytics, name)
+    if name in ("render_dashboard", "write_dashboard"):
+        from repro.obs import dashboard
+        return getattr(dashboard, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

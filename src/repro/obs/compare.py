@@ -9,6 +9,8 @@ any subset of:
 * ``trace.jsonl`` — the JSONL trace (span-duration distributions);
 * ``profile.json`` — a ``repro.profile`` document (wall-clock
   hotspots);
+* ``analytics.json`` / ``analytics_rollup.json`` — ``repro.analytics``
+  documents (latency percentiles and series summaries, sim-derived);
 * ``bench*.json`` / ``perf_*.json`` — bench reports
   (``_bench_utils.emit_report`` / ``perf_core_timings``-shaped).
 
@@ -54,6 +56,8 @@ DEFAULT_MIN_SECONDS = 1e-4
 METRICS_FILE = "metrics.json"
 TRACE_FILE = "trace.jsonl"
 PROFILE_FILE = "profile.json"
+ANALYTICS_FILE = "analytics.json"
+ANALYTICS_ROLLUP_FILE = "analytics_rollup.json"
 
 
 class CompareError(ValueError):
@@ -232,6 +236,54 @@ def _profile_hotspots(path: str) -> Dict[str, float]:
             for name, agg in flat.items()}
 
 
+def _analytics_summary(path: str) -> Dict[str, float]:
+    """Sim-derived headline numbers from an analytics document (single
+    run or sweep rollup): latency percentiles/counts per flow class and
+    total/peak per series — never the raw per-bin arrays, which would
+    drown the verdict table in thousands of rows."""
+    from repro.obs.analytics import (ANALYTICS_KIND, AnalyticsError,
+                                     SERIES_KEYS, load_analytics)
+
+    try:
+        doc = load_analytics(path)
+    except AnalyticsError as exc:
+        raise CompareError(str(exc)) from exc
+    out: Dict[str, float] = {"bins": float(doc.get("bins", 0))}
+    if doc["kind"] == ANALYTICS_KIND:
+        for name, entry in doc["latency"].items():
+            for key in ("completed", "interrupted", "cancelled", "open",
+                        "p50", "p99", "p999", "mean", "max",
+                        "bytes_completed", "bytes_wasted"):
+                v = entry.get(key)
+                if _is_number(v):
+                    out[f"latency.{name}.{key}"] = float(v)
+        for key in SERIES_KEYS:
+            vals = [v for v in (doc["series"].get(key) or [])
+                    if _is_number(v)]
+            if vals:
+                out[f"series.{key}.total"] = float(sum(vals))
+                out[f"series.{key}.peak"] = float(max(vals))
+    else:                                  # rollup
+        out["tasks"] = float(len(doc.get("tasks") or []))
+        for name, band in doc["latency_bands"].items():
+            for key in ("completed", "interrupted", "cancelled", "open"):
+                v = band.get(key)
+                if _is_number(v):
+                    out[f"latency.{name}.{key}"] = float(v)
+            for q in ("p50", "p99", "p999"):
+                sub = band.get(q)
+                if isinstance(sub, dict):
+                    for edge in ("lo", "p50", "hi"):
+                        v = sub.get(edge)
+                        if _is_number(v):
+                            out[f"latency.{name}.{q}.{edge}"] = float(v)
+        for key, band in doc["series_bands"].items():
+            his = [v for v in (band.get("hi") or []) if _is_number(v)]
+            if his:
+                out[f"series.{key}.peak_hi"] = float(max(his))
+    return out
+
+
 def _bench_timings(doc: object) -> Optional[Dict[str, float]]:
     """Timing map from any of the bench JSON shapes in the repo:
 
@@ -280,13 +332,16 @@ def _run_artifacts(path: str) -> Dict[str, str]:
         found: Dict[str, str] = {}
         for kind, fname in (("metrics", METRICS_FILE),
                             ("trace", TRACE_FILE),
-                            ("profile", PROFILE_FILE)):
+                            ("profile", PROFILE_FILE),
+                            ("analytics", ANALYTICS_FILE),
+                            ("analytics", ANALYTICS_ROLLUP_FILE)):
             full = os.path.join(path, fname)
             if os.path.isfile(full):
-                found[kind] = full
+                found.setdefault(kind, full)
         for entry in sorted(os.listdir(path)):
             if not entry.endswith(".json") \
-                    or entry in (METRICS_FILE, PROFILE_FILE):
+                    or entry in (METRICS_FILE, PROFILE_FILE,
+                                 ANALYTICS_FILE, ANALYTICS_ROLLUP_FILE):
                 continue
             if _bench_timings(_load_json_quiet(os.path.join(path, entry))) \
                     is not None:
@@ -304,6 +359,9 @@ def _run_artifacts(path: str) -> Dict[str, str]:
     doc = _load_json(path)
     if isinstance(doc, dict) and doc.get("kind") == "repro.profile":
         return {"profile": path}
+    if isinstance(doc, dict) and doc.get("kind") in (
+            "repro.analytics", "repro.analytics.rollup"):
+        return {"analytics": path}
     if _bench_timings(doc) is not None:
         return {"bench": path}
     if isinstance(doc, dict):
@@ -330,7 +388,8 @@ def compare_runs(path_a: str, path_b: str,
     result = ComparisonResult(path_a, path_b, threshold, min_seconds,
                               strict)
 
-    common = [k for k in ("metrics", "trace", "profile", "bench")
+    common = [k for k in ("metrics", "trace", "analytics", "profile",
+                          "bench")
               if k in arts_a and k in arts_b]
     for kind in sorted(set(arts_a) ^ set(arts_b)):
         side = "A" if kind in arts_a else "B"
@@ -351,6 +410,11 @@ def compare_runs(path_a: str, path_b: str,
         _diff_maps(result, "spans", "s",
                    _span_distributions(arts_a["trace"]),
                    _span_distributions(arts_b["trace"]), wall=False)
+    if "analytics" in common:
+        result.sections.append("analytics")
+        _diff_maps(result, "analytics", "",
+                   _analytics_summary(arts_a["analytics"]),
+                   _analytics_summary(arts_b["analytics"]), wall=False)
     if "profile" in common:
         result.sections.append("profile")
         _diff_maps(result, "profile", "s",
@@ -397,6 +461,7 @@ MAX_ROWS_PER_SECTION = 40
 _SECTION_TITLES = {
     "metrics": "Metrics (sim-derived)",
     "spans": "Span durations (sim-derived)",
+    "analytics": "Analytics: latency percentiles & series (sim-derived)",
     "profile": "Profile hotspots (wall-clock)",
     "bench": "Bench timings (wall-clock)",
 }

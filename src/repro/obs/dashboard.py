@@ -1,0 +1,495 @@
+"""Self-contained HTML dashboard for one analytics document.
+
+``repro timeline TRACE --html dashboard.html`` renders the
+``repro.analytics`` JSON document as a single HTML file with **zero
+external dependencies** — styles inline, charts are hand-built inline
+SVG, no scripts, no fonts, no network.  The page is a pure function of
+the document: same-seed runs produce byte-identical HTML
+(sha256-tested), so a dashboard can sit next to ``trace.jsonl`` as a
+reviewable, diffable artefact.
+
+Layout follows the repo's reporting conventions and standard dataviz
+hygiene: a KPI row of stat tiles (client p50/p99/p999), one small
+chart per series (single hue each, assigned by series identity — never
+re-ordered), thin 2 px lines with a ~10 % area wash, hairline solid
+gridlines, latency and per-server tables, and the critical-path tree
+with duration meters.  Every chart carries a collapsed table twin and
+per-bin ``<title>`` hover values, so no value is readable only through
+color.  Dark mode is a selected palette via ``prefers-color-scheme``,
+not an automatic inversion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.analytics import (ANALYTICS_KIND, SERIES_KEYS,
+                                 validate_analytics)
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+# Categorical palette (validated slot order; dark steps are the same
+# hues re-stepped for the dark surface, not an automatic flip).
+_SLOTS_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+                "#e87ba4", "#008300", "#4a3aa7", "#e34948")
+_SLOTS_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500",
+               "#d55181", "#008300", "#9085e9", "#e66767")
+
+#: Fixed series → palette-slot assignment (identity, never rank: a
+#: series keeps its hue whether or not its neighbours have data).
+_SERIES_SLOT = {
+    "client_throughput_bytes": 0,
+    "migration_bytes": 1,
+    "reintegration_bytes": 2,
+    "recovery_bytes": 3,
+    "live_flows": 4,
+    "max_utilization": 5,
+    "degraded_reads": 6,
+    "unavailable_reads": 7,
+}
+
+_SERIES_TITLE = {
+    "client_throughput_bytes": "Client throughput",
+    "migration_bytes": "Selective migration",
+    "reintegration_bytes": "Reintegration",
+    "recovery_bytes": "Recovery re-replication",
+    "live_flows": "Live flows",
+    "max_utilization": "Peak bandwidth utilisation",
+    "degraded_reads": "Degraded reads",
+    "unavailable_reads": "Unavailable reads",
+}
+
+_CHART_W = 560
+_CHART_H = 150
+_PAD_L = 52
+_PAD_R = 14
+_PAD_T = 10
+_PAD_B = 24
+
+
+def _esc(s: object) -> str:
+    return (str(s).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _fnum(v: float) -> str:
+    """Deterministic short number: trimmed fixed-point, no locale."""
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def _fbytes(v: float) -> str:
+    for unit, div in (("TB", 1e12), ("GB", 1e9), ("MB", 1e6),
+                      ("kB", 1e3)):
+        if abs(v) >= div:
+            return f"{v / div:.2f} {unit}"
+    return f"{_fnum(v)} B"
+
+
+def _fval(key: str, v: Optional[float]) -> str:
+    if v is None:
+        return "-"
+    if key.endswith("_bytes"):
+        return _fbytes(v)
+    return _fnum(v)
+
+
+def _nice_ceiling(v: float) -> float:
+    """Smallest 1/2/5 × 10^k at or above *v* — clean axis maxima."""
+    if v <= 0:
+        return 1.0
+    exp = 0
+    x = v
+    while x >= 10.0:
+        x /= 10.0
+        exp += 1
+    while x < 1.0:
+        x *= 10.0
+        exp -= 1
+    for m in (1.0, 2.0, 5.0, 10.0):
+        if x <= m:
+            return m * (10.0 ** exp)
+    return 10.0 ** (exp + 1)
+
+
+def _xy(i: int, n: int, v: float, vmax: float) -> Tuple[float, float]:
+    span_x = _CHART_W - _PAD_L - _PAD_R
+    span_y = _CHART_H - _PAD_T - _PAD_B
+    x = _PAD_L + (span_x * (i / (n - 1)) if n > 1 else span_x / 2.0)
+    y = _PAD_T + span_y * (1.0 - (v / vmax if vmax else 0.0))
+    return round(x, 2), round(y, 2)
+
+
+def _series_chart(key: str, values: Sequence[Optional[float]],
+                  origin: float, bin_w: float) -> str:
+    """One small-multiple SVG: area wash + 2 px line + end marker,
+    hairline grid, per-bin hover ``<title>``.  ``None`` gaps (bins
+    with no sample) break the line rather than faking a zero."""
+    n = len(values)
+    numeric = [v for v in values if v is not None]
+    vmax = _nice_ceiling(max(numeric) if numeric else 0.0)
+    span_y = _CHART_H - _PAD_T - _PAD_B
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg viewBox="0 0 {_CHART_W} {_CHART_H}" role="img" '
+        f'aria-label="{_esc(_SERIES_TITLE.get(key, key))} time series" '
+        f'preserveAspectRatio="xMidYMid meet">')
+
+    # hairline grid: baseline + two interior lines, clean tick values
+    for frac in (0.0, 0.5, 1.0):
+        y = round(_PAD_T + span_y * (1.0 - frac), 2)
+        cls = "axis" if frac == 0.0 else "grid"
+        parts.append(f'<line class="{cls}" x1="{_PAD_L}" y1="{y}" '
+                     f'x2="{_CHART_W - _PAD_R}" y2="{y}"/>')
+        tick = vmax * frac
+        label = (_fbytes(tick) if key.endswith("_bytes")
+                 else _fnum(round(tick, 6)))
+        parts.append(f'<text class="tick" x="{_PAD_L - 6}" '
+                     f'y="{y + 3.5}" text-anchor="end">'
+                     f'{_esc(label)}</text>')
+
+    # x labels: first and last bin start times
+    t0, t1 = origin, origin + (n - 1 if n > 1 else 0) * bin_w
+    x0, _ = _xy(0, n, 0.0, 1.0)
+    x1, _ = _xy(n - 1 if n > 1 else 0, n, 0.0, 1.0)
+    yx = _CHART_H - 8
+    parts.append(f'<text class="tick" x="{x0}" y="{yx}" '
+                 f'text-anchor="start">{_fnum(round(t0, 3))} s</text>')
+    if n > 1:
+        parts.append(f'<text class="tick" x="{x1}" y="{yx}" '
+                     f'text-anchor="end">{_fnum(round(t1, 3))} s</text>')
+
+    # contiguous runs of numeric values → one area + one line each
+    runs: List[List[Tuple[int, float]]] = []
+    cur: List[Tuple[int, float]] = []
+    for i, v in enumerate(values):
+        if v is None:
+            if cur:
+                runs.append(cur)
+                cur = []
+        else:
+            cur.append((i, float(v)))
+    if cur:
+        runs.append(cur)
+
+    y_base = _PAD_T + span_y
+    for run in runs:
+        pts = [_xy(i, n, v, vmax) for i, v in run]
+        if len(pts) > 1:
+            poly = " ".join(f"{x},{y}" for x, y in pts)
+            area = (f"{pts[0][0]},{y_base} " + poly
+                    + f" {pts[-1][0]},{y_base}")
+            parts.append(f'<polygon class="wash" points="{area}"/>')
+            parts.append(f'<polyline class="line" points="{poly}"/>')
+        # end-of-run marker: ≥8px dot with a surface ring
+        ex, ey = pts[-1]
+        parts.append(f'<circle class="dot" cx="{ex}" cy="{ey}" r="4"/>')
+
+    # hover layer: one transparent band per bin with a <title> value —
+    # native tooltips, no script; values also live in the table twin.
+    if n:
+        band = (_CHART_W - _PAD_L - _PAD_R) / n
+        for i, v in enumerate(values):
+            bx = round(_PAD_L + band * i, 2)
+            t_lo = origin + i * bin_w
+            label = (f"t [{_fnum(round(t_lo, 3))}, "
+                     f"{_fnum(round(t_lo + bin_w, 3))}) s: "
+                     f"{_fval(key, v)}")
+            parts.append(
+                f'<rect class="hit" x="{bx}" y="{_PAD_T}" '
+                f'width="{round(band, 2)}" height="{span_y}">'
+                f'<title>{_esc(label)}</title></rect>')
+
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _chart_card(key: str, values: Sequence[Optional[float]],
+                origin: float, bin_w: float) -> str:
+    numeric = [v for v in values if v is not None]
+    if key in ("live_flows", "max_utilization"):
+        headline = ("peak " + _fval(key, max(numeric)) if numeric
+                    else "no samples")
+    else:
+        headline = ("total " + _fval(key, sum(numeric)) if numeric
+                    else "no samples")
+    slot = _SERIES_SLOT.get(key, 0)
+    rows = "".join(
+        f"<tr><td>{_fnum(round(origin + i * bin_w, 3))}</td>"
+        f"<td>{_fval(key, v)}</td></tr>"
+        for i, v in enumerate(values))
+    return (
+        f'<section class="card series-{slot}">'
+        f'<h3>{_esc(_SERIES_TITLE.get(key, key))}'
+        f'<span class="sub">{_esc(headline)}</span></h3>'
+        f'{_series_chart(key, values, origin, bin_w)}'
+        f'<details><summary>table view</summary>'
+        f'<table><thead><tr><th>bin start (s)</th><th>value</th>'
+        f'</tr></thead><tbody>{rows}</tbody></table></details>'
+        f'</section>')
+
+
+def _stat_tile(label: str, value: str, note: str = "") -> str:
+    sub = f'<div class="note">{_esc(note)}</div>' if note else ""
+    return (f'<div class="tile"><div class="label">{_esc(label)}</div>'
+            f'<div class="value">{_esc(value)}</div>{sub}</div>')
+
+
+def _latency_section(latency: Dict[str, Dict]) -> str:
+    head = ("<tr><th>class</th><th>done</th><th>interrupted</th>"
+            "<th>open</th><th>p50 (s)</th><th>p99 (s)</th>"
+            "<th>p999 (s)</th><th>max (s)</th><th>intr p99 (s)</th>"
+            "<th>bytes done</th><th>bytes wasted</th></tr>")
+    rows = []
+    for name, e in sorted(latency.items()):
+        tail = e.get("interrupted_tail")
+        rows.append(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+            "<td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+            "<td>{}</td><td>{}</td></tr>".format(
+                _esc(name), e.get("completed", 0),
+                e.get("interrupted", 0), e.get("open", 0),
+                _fval("", e.get("p50")), _fval("", e.get("p99")),
+                _fval("", e.get("p999")), _fval("", e.get("max")),
+                "-" if tail is None else _fnum(tail["p99"]),
+                _fbytes(float(e.get("bytes_completed") or 0.0)),
+                _fbytes(float(e.get("bytes_wasted") or 0.0))))
+    return (f'<section class="card wide"><h3>Flow latency '
+            f'<span class="sub">sojourn of completed flows; '
+            f'interrupted tail reported separately</span></h3>'
+            f'<table><thead>{head}</thead>'
+            f'<tbody>{"".join(rows)}</tbody></table></section>')
+
+
+def _servers_section(server_in: Dict[str, Sequence[float]],
+                     origin: float, bin_w: float) -> str:
+    if not server_in:
+        return ""
+    rows = []
+    for rank, series in sorted(server_in.items(),
+                               key=lambda kv: _rank_order(kv[0])):
+        vals = [v for v in series if v is not None]
+        total = sum(vals)
+        if vals and total:
+            peak_i = max(range(len(series)),
+                         key=lambda i: (series[i] or 0.0, -i))
+            peak = (f"{_fbytes(series[peak_i] or 0.0)} @ "
+                    f"{_fnum(round(origin + peak_i * bin_w, 3))} s")
+        else:
+            peak = "-"
+        rows.append(f"<tr><td>{_esc(rank)}</td>"
+                    f"<td>{_fbytes(total)}</td><td>{peak}</td></tr>")
+    return (f'<section class="card wide"><h3>Bytes landed per server '
+            f'<span class="sub">migration + recovery + re-addition '
+            f'traffic in</span></h3>'
+            f'<table><thead><tr><th>rank</th><th>total in</th>'
+            f'<th>peak bin</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table></section>')
+
+
+def _rank_order(rank: str) -> Tuple[int, float, str]:
+    try:
+        return (0, float(rank), "")
+    except ValueError:
+        return (1, 0.0, rank)
+
+
+def _critical_paths_section(paths: List[Dict]) -> str:
+    if not paths:
+        body = '<p class="note">No closed lifecycle spans in window.</p>'
+    else:
+        items = []
+        for p in paths:
+            dur = float(p.get("duration") or 0.0)
+            steps = []
+            for depth, step in enumerate(p["path"]):
+                share = (step["contribution"] / dur if dur else 0.0)
+                pct = round(100.0 * max(0.0, min(1.0, share)), 1)
+                steps.append(
+                    f'<li style="margin-left:{depth}em">'
+                    f'<span class="meter" aria-hidden="true">'
+                    f'<span style="width:{pct}%"></span></span>'
+                    f'{_esc(step["name"])} '
+                    f'<span class="num">#{_esc(step["span_id"])}</span> '
+                    f'— {_fnum(step["duration"])} s '
+                    f'(+{_fnum(step["contribution"])} s self, '
+                    f'{_fnum(pct)}%)</li>')
+            items.append(
+                f'<li class="path"><strong>{_esc(p["root"])}</strong> '
+                f'<span class="num">#{_esc(p["span_id"])}</span> @ '
+                f't={_fval("", p.get("t_begin"))} s — '
+                f'{_fnum(p["duration"])} s, depth {p["depth"]}'
+                f'<ul>{"".join(steps)}</ul></li>')
+        body = f'<ul class="paths">{"".join(items)}</ul>'
+    return (f'<section class="card wide"><h3>Critical paths '
+            f'<span class="sub">longest child chain per lifecycle; '
+            f'bar = each span&#39;s own contribution</span></h3>'
+            f'{body}</section>')
+
+
+def _css() -> str:
+    light_slots = "".join(f"--series-{i}:{c};"
+                          for i, c in enumerate(_SLOTS_LIGHT))
+    dark_slots = "".join(f"--series-{i}:{c};"
+                         for i, c in enumerate(_SLOTS_DARK))
+    return f"""
+:root {{
+  color-scheme: light;
+  --page:#f9f9f7; --surface:#fcfcfb; --ink:#0b0b0b; --ink-2:#52514e;
+  --muted:#898781; --grid:#e1e0d9; --axis:#c3c2b7;
+  --border:rgba(11,11,11,0.10); {light_slots}
+}}
+@media (prefers-color-scheme: dark) {{
+  :root {{
+    color-scheme: dark;
+    --page:#0d0d0d; --surface:#1a1a19; --ink:#ffffff; --ink-2:#c3c2b7;
+    --muted:#898781; --grid:#2c2c2a; --axis:#383835;
+    --border:rgba(255,255,255,0.10); {dark_slots}
+  }}
+}}
+* {{ box-sizing: border-box; }}
+body {{
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}}
+header h1 {{ font-size: 20px; margin: 0 0 4px; }}
+header .note, .note {{ color: var(--ink-2); }}
+.tiles {{ display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }}
+.tile {{
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 16px; min-width: 130px;
+}}
+.tile .label {{ color: var(--ink-2); font-size: 12px; }}
+.tile .value {{ font-size: 26px; font-weight: 600; }}
+.tile .note {{ font-size: 12px; }}
+.grid {{
+  display: grid; gap: 12px;
+  grid-template-columns: repeat(auto-fill, minmax(300px, 1fr));
+}}
+.card {{
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 14px; overflow-x: auto;
+}}
+.card.wide {{ grid-column: 1 / -1; }}
+.card h3 {{ font-size: 14px; margin: 0 0 8px; }}
+.card h3 .sub {{
+  display: block; font-weight: 400; font-size: 12px;
+  color: var(--ink-2);
+}}
+svg {{ width: 100%; height: auto; display: block; }}
+svg .grid {{ stroke: var(--grid); stroke-width: 1; }}
+svg .axis {{ stroke: var(--axis); stroke-width: 1; }}
+svg .tick {{ fill: var(--muted); font-size: 10px; }}
+svg .line {{
+  fill: none; stroke: var(--slot); stroke-width: 2;
+  stroke-linejoin: round; stroke-linecap: round;
+}}
+svg .wash {{ fill: var(--slot); fill-opacity: 0.1; }}
+svg .dot {{
+  fill: var(--slot); stroke: var(--surface); stroke-width: 2;
+}}
+svg .hit {{ fill: transparent; }}
+svg .hit:hover {{ fill: var(--ink); fill-opacity: 0.06; }}
+""" + "".join(
+        f".series-{i} {{ --slot: var(--series-{i}); }}\n"
+        for i in range(len(_SLOTS_LIGHT))) + """
+table { border-collapse: collapse; width: 100%; margin-top: 6px; }
+th, td {
+  text-align: left; padding: 4px 10px 4px 0;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 500; font-size: 12px; }
+details summary {
+  cursor: pointer; color: var(--ink-2); font-size: 12px;
+  margin-top: 6px;
+}
+.paths { list-style: none; padding-left: 0; }
+.paths ul { list-style: none; padding-left: 16px; margin: 4px 0 12px; }
+.paths .num { color: var(--muted); }
+.meter {
+  display: inline-block; width: 90px; height: 8px; margin-right: 8px;
+  background: var(--grid); border-radius: 4px; overflow: hidden;
+  vertical-align: middle;
+}
+.meter span {
+  display: block; height: 100%; background: var(--series-0);
+  border-radius: 4px;
+}
+footer { margin-top: 16px; color: var(--muted); font-size: 12px; }
+"""
+
+
+def render_dashboard(doc: Dict) -> str:
+    """Render a single-run ``repro.analytics`` document to HTML.
+
+    Pure function of *doc* — no timestamps, hostnames or environment
+    leak into the page, so equal documents yield equal bytes.
+    """
+    validate_analytics(doc, expect_kind=ANALYTICS_KIND)
+    window = doc["window"]
+    ev = doc.get("events") or {}
+    origin = float(window.get("origin", 0.0))
+    bin_w = float(window["bin_seconds"])
+    series = doc["series"]
+    latency = doc["latency"]
+    src = doc.get("source") or "<events>"
+
+    def _w(v: object) -> str:
+        return "unbounded" if v is None else f"{v:g} s"
+
+    client = latency.get("client") or {}
+    tiles = [
+        _stat_tile("Events in window",
+                   str(ev.get("in_window", "?")),
+                   f"of {ev.get('total', '?')} total"),
+        _stat_tile("Client p50", _fval("", client.get("p50")),
+                   "sojourn, s"),
+        _stat_tile("Client p99", _fval("", client.get("p99")),
+                   "sojourn, s"),
+        _stat_tile("Client p999", _fval("", client.get("p999")),
+                   "sojourn, s"),
+        _stat_tile("Lifecycles",
+                   str(len(doc["critical_paths"])),
+                   "closed span trees"),
+    ]
+
+    cards = [_chart_card(key, series.get(key) or [], origin, bin_w)
+             for key in SERIES_KEYS]
+
+    html = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        '<meta name="viewport" '
+        'content="width=device-width, initial-scale=1">',
+        f"<title>repro timeline — {_esc(src)}</title>",
+        f"<style>{_css()}</style></head><body>",
+        "<header>",
+        f"<h1>Timeline — {_esc(src)}</h1>",
+        f'<p class="note">Window [{_esc(_w(window.get("since")))}, '
+        f'{_esc(_w(window.get("until")))}) · bin {bin_w:g} s · '
+        f'{doc["bins"]} bin(s) · simulated t = '
+        f'[{_fval("", ev.get("t_min"))}, {_fval("", ev.get("t_max"))}] '
+        f's</p>',
+        "</header>",
+        f'<div class="tiles">{"".join(tiles)}</div>',
+        f'<div class="grid">{"".join(cards)}',
+        _latency_section(latency),
+        _servers_section(series.get("server_bytes_in") or {},
+                         origin, bin_w),
+        _critical_paths_section(doc["critical_paths"]),
+        "</div>",
+        '<footer>repro.analytics v'
+        f'{doc["version"]} — generated from simulation time only; '
+        "same-seed runs render identical bytes.</footer>",
+        "</body></html>",
+    ]
+    return "\n".join(html) + "\n"
+
+
+def write_dashboard(doc: Dict, path: str) -> None:
+    """Render *doc* and write it to *path* (UTF-8, LF)."""
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(render_dashboard(doc))

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.invariants import Checker, InvariantSuite, Violation
+from repro.obs.stats import check_window, event_in_window
 from repro.obs.trace import TraceEvent, iter_jsonl
 
 __all__ = [
@@ -169,16 +170,30 @@ def _md_table(headers: Sequence[str],
 # ----------------------------------------------------------------------
 # report
 # ----------------------------------------------------------------------
-def render_run_report(path: str, max_timeline_rows: int = 40) -> str:
-    """The ``repro report`` markdown document for one trace file."""
-    events: List[TraceEvent] = []
+def render_run_report(path: str, max_timeline_rows: int = 40,
+                      since: Optional[float] = None,
+                      until: Optional[float] = None) -> str:
+    """The ``repro report`` markdown document for one trace file.
+
+    *since*/*until* restrict the presentation sections (timeline,
+    span durations, byte breakdown) to the half-open window
+    ``[since, until)`` — the same predicate as ``repro stats`` and
+    ``repro timeline``.  The invariant checkers always replay the
+    **full** stream: a window is a view, and a flow that started
+    before it is not an accounting violation.
+    """
+    check_window(since, until)
+    all_events: List[TraceEvent] = []
     suite = InvariantSuite()
     for line_no, event in iter_jsonl(path):
-        events.append(event)
+        all_events.append(event)
         suite.observe(event, line_no)
     suite.finish()
-    if not events:
+    if not all_events:
         raise EmptyTraceError(path)
+    windowed = since is not None or until is not None
+    events = ([e for e in all_events if event_in_window(e, since, until)]
+              if windowed else all_events)
 
     times = [t for t in (_num(e.get("t")) for e in events) if t is not None]
     t0, t1 = (min(times), max(times)) if times else (None, None)
@@ -190,8 +205,13 @@ def render_run_report(path: str, max_timeline_rows: int = 40) -> str:
     out: List[str] = [f"# Run report — {path}", ""]
     extent = ("" if t0 is None
               else f" over t = [{t0:g}, {t1:g}] s of simulated time")
+    window = ("" if not windowed else
+              f" (window [{'-' if since is None else f'{since:g}'}, "
+              f"{'-' if until is None else f'{until:g}'}) of "
+              f"{len(all_events)} total; invariants checked over the "
+              f"full stream)")
     out.append(f"{len(events)} trace events across {len(kinds)} event "
-               f"kinds{extent}.")
+               f"kinds{extent}{window}.")
     out.append("")
 
     # ---------------- lifecycle timeline -----------------------------

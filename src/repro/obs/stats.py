@@ -11,6 +11,13 @@ module aggregates it into the two tables an engineer reaches for first:
 ``repro stats`` exposes the filters directly: ``--kind`` restricts by
 event kind, ``--since``/``--until`` window on simulation time, and
 ``--top N`` keeps only the N kinds moving the most bytes.
+
+Time windows are **half-open**: ``[since, until)`` keeps events with
+``since <= t < until``.  Every windowing surface — ``repro stats``,
+``repro report``, ``repro timeline``, the sweep runner's
+``events_in_window`` — goes through the same :func:`in_window`
+predicate, so adjacent windows (``[0, 60)``, ``[60, 120)``) partition
+a trace without double-counting boundary events.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ __all__ = [
     "summarize_trace",
     "render_trace_stats",
     "check_window",
+    "in_window",
+    "event_in_window",
     "is_number",
 ]
 
@@ -38,7 +47,7 @@ def is_number(value: object) -> bool:
 
 
 def check_window(since: Optional[float], until: Optional[float]) -> None:
-    """Validate a ``[since, until]`` simulation-time window.
+    """Validate a half-open ``[since, until)`` simulation-time window.
 
     Raises :class:`ValueError` when the window is inverted — silently
     matching nothing has masked more than one typo'd command line.
@@ -47,6 +56,38 @@ def check_window(since: Optional[float], until: Optional[float]) -> None:
         raise ValueError(
             f"empty time window: --since {since:g} is after "
             f"--until {until:g} (since must be <= until)")
+
+
+def in_window(t: object, since: Optional[float],
+              until: Optional[float]) -> bool:
+    """The one window predicate: is timestamp *t* inside the half-open
+    window ``[since, until)``?
+
+    ``since <= t < until`` — the *until* bound is **exclusive**, so
+    adjacent windows partition a trace with no event counted twice.
+    Either bound may be ``None`` (unbounded on that side).  A
+    non-numeric *t* (including ``bool``) is outside every bounded
+    window; with both bounds ``None`` everything passes.
+
+    Every windowing surface (``repro stats`` / ``report`` /
+    ``timeline``, the sweep runner) routes through this function —
+    do not re-implement the comparison.
+    """
+    if since is None and until is None:
+        return True
+    if not is_number(t):
+        return False
+    if since is not None and t < since:      # type: ignore[operator]
+        return False
+    if until is not None and t >= until:     # type: ignore[operator]
+        return False
+    return True
+
+
+def event_in_window(event: TraceEvent, since: Optional[float],
+                    until: Optional[float]) -> bool:
+    """:func:`in_window` applied to an event's ``t`` field."""
+    return in_window(event.get("t"), since, until)
 
 
 #: Event fields that carry a byte volume, in display priority order.
@@ -112,11 +153,12 @@ def render_trace_stats(path: str, kind: Optional[str] = None,
 
     *kind* restricts the per-kind table to kinds equal to it or, with a
     trailing dot, sharing its prefix (``migration.``).  *since* /
-    *until* keep only events whose simulation time falls in
-    ``[since, until]`` (events without a numeric ``t`` are dropped by
-    either bound; an inverted window raises :class:`ValueError`).
-    *top* sorts the kinds by byte total descending and keeps the first
-    N (default: every kind, name-sorted).
+    *until* keep only events whose simulation time falls in the
+    half-open window ``[since, until)`` — see :func:`in_window`
+    (events without a numeric ``t`` are dropped by either bound; an
+    inverted window raises :class:`ValueError`).  *top* sorts the
+    kinds by byte total descending and keeps the first N (default:
+    every kind, name-sorted).
     """
     check_window(since, until)
     events = read_jsonl(path)
@@ -127,13 +169,7 @@ def render_trace_stats(path: str, kind: Optional[str] = None,
         else:
             events = [e for e in events if e.get("kind") == kind]
     if since is not None or until is not None:
-        def _in_window(e: TraceEvent) -> bool:
-            t = e.get("t")
-            if not is_number(t):
-                return False
-            return ((since is None or t >= since)
-                    and (until is None or t <= until))
-        events = [e for e in events if _in_window(e)]
+        events = [e for e in events if event_in_window(e, since, until)]
     summary = summarize_trace(events)
     if summary.total_events == 0:
         return f"{path}: no matching trace events"

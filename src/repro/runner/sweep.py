@@ -17,7 +17,12 @@ aggregate report is byte-identical for ``--workers 1`` and
 * ``merged.jsonl`` concatenates the per-task traces in task-id order,
   separated by ``sweep.task`` boundary events that
   :class:`~repro.obs.invariants.InvariantSuite` recognises — so
-  ``repro check merged.jsonl`` validates every run in one pass.
+  ``repro check merged.jsonl`` validates every run in one pass;
+* each worker also writes a per-task ``analytics.json``
+  (:mod:`repro.obs.analytics`), and the runner merges them — again by
+  task id — into ``analytics_rollup.json``: per-bin min/median/max
+  bands and latency-percentile bands across seeds, readable with
+  ``repro timeline analytics_rollup.json``.
 
 Failure handling reuses :class:`~repro.faults.retry.RetryPolicy`: a
 task that raises, times out, or takes its worker process down with it
@@ -38,8 +43,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.retry import RetryPolicy
+from repro.obs.analytics import (AnalyticsError, dump_analytics,
+                                 load_analytics, merge_analytics)
 from repro.obs.invariants import SWEEP_BOUNDARY_KIND
-from repro.obs.stats import check_window, is_number
+from repro.obs.stats import check_window, event_in_window
 from repro.obs.trace import read_jsonl
 from repro.runner import worker as worker_mod
 from repro.runner.spec import TaskSpec
@@ -53,12 +60,14 @@ __all__ = [
     "MERGED_TRACE_FILENAME",
     "RUN_INFO_FILENAME",
     "PROFILE_ROLLUP_FILENAME",
+    "ANALYTICS_ROLLUP_FILENAME",
 ]
 
 AGGREGATE_FILENAME = "sweep.json"
 MERGED_TRACE_FILENAME = "merged.jsonl"
 RUN_INFO_FILENAME = "run_info.json"
 PROFILE_ROLLUP_FILENAME = "profile_rollup.json"
+ANALYTICS_ROLLUP_FILENAME = "analytics_rollup.json"
 
 #: Poll interval of the completion loop (wall seconds).
 _POLL_SECONDS = 0.05
@@ -98,6 +107,11 @@ class SweepResult:
     #: Sweep-level hotspot rollup (wall-clock, quarantined like
     #: run_info.json); None unless the sweep profiled its tasks.
     profile_rollup_path: Optional[Path] = None
+    #: Cross-task ``repro.analytics.rollup`` document (per-bin bands
+    #: and latency-percentile bands across seeds), merged by task id —
+    #: byte-identical for any worker count.  None when no task
+    #: produced analytics.
+    analytics_rollup_path: Optional[Path] = None
 
     @property
     def ok(self) -> bool:
@@ -136,9 +150,9 @@ class SweepRunner:
         is treated like a crashed attempt (the pool is recycled to
         reclaim the stuck worker).
     since / until:
-        Optional simulation-time window for the per-task
-        ``events_in_window`` counts of the aggregate.  ``since`` must
-        not exceed ``until`` (same guard as ``repro stats``).
+        Optional half-open ``[since, until)`` simulation-time window
+        for the per-task ``events_in_window`` counts of the aggregate
+        — the same predicate and guard as ``repro stats``.
     profile:
         Run every task with the instrumentation profiler attached:
         each task dir gains a ``profile.json`` and the sweep writes a
@@ -189,12 +203,14 @@ class SweepRunner:
         merged_path = self._write_merged_trace(ordered, out)
         rollup_path = (self._write_profile_rollup(ordered, out)
                        if self.profile else None)
+        analytics_path = self._write_analytics_rollup(ordered, out)
         result = SweepResult(
             out_dir=out, tasks=ordered, workers=self.workers,
             wall_seconds=wall, retries=retries,
             aggregate_path=aggregate_path,
             merged_trace_path=merged_path,
-            profile_rollup_path=rollup_path)
+            profile_rollup_path=rollup_path,
+            analytics_rollup_path=analytics_path)
         # Run facts that legitimately differ between runs (wall clock,
         # pool size) stay out of the deterministic aggregate.
         (out / RUN_INFO_FILENAME).write_text(json.dumps(
@@ -373,19 +389,13 @@ class SweepRunner:
         return entry
 
     def _count_in_window(self, trace_path: Path) -> int:
+        """Events in the half-open window ``[since, until)`` — the
+        same :func:`~repro.obs.stats.event_in_window` predicate as
+        ``repro stats`` / ``report`` / ``timeline``."""
         if not trace_path.exists():
             return 0
-        count = 0
-        for event in read_jsonl(str(trace_path)):
-            t = event.get("t")
-            if not is_number(t):
-                continue
-            if self.since is not None and t < self.since:
-                continue
-            if self.until is not None and t > self.until:
-                continue
-            count += 1
-        return count
+        return sum(1 for event in read_jsonl(str(trace_path))
+                   if event_in_window(event, self.since, self.until))
 
     def _write_aggregate(self, ordered: List[TaskResult], out: Path
                          ) -> Path:
@@ -484,6 +494,32 @@ class SweepRunner:
                         + "\n")
         return path
 
+    @staticmethod
+    def _write_analytics_rollup(ordered: List[TaskResult], out: Path
+                                ) -> Optional[Path]:
+        """Merge the per-task ``analytics.json`` documents (written by
+        the worker from each task's own trace) into one
+        ``repro.analytics.rollup``, keyed and ordered **by task id**
+        so the bytes never depend on the worker count.  Tasks without
+        a document (failed, or zero-event traces) are skipped; with no
+        documents at all, no rollup is written."""
+        docs = {}
+        for result in ordered:
+            p = (out / result.spec.task_id
+                 / worker_mod.ANALYTICS_FILENAME)
+            if not p.exists():
+                continue
+            try:
+                docs[result.spec.task_id] = load_analytics(str(p))
+            except AnalyticsError:
+                continue          # half-written file from a dead worker
+        if not docs:
+            return None
+        rollup = merge_analytics(docs)
+        path = out / ANALYTICS_ROLLUP_FILENAME
+        dump_analytics(rollup, str(path))
+        return path
+
 
 # ----------------------------------------------------------------------
 # reporting
@@ -501,6 +537,11 @@ def render_sweep_report(result: SweepResult) -> str:
         f"retries {result.retries}",
         f"- aggregate: {result.aggregate_path}",
         f"- merged trace: {result.merged_trace_path}",
+    ]
+    if result.analytics_rollup_path is not None:
+        lines.append(
+            f"- analytics rollup: {result.analytics_rollup_path}")
+    lines += [
         "",
         "| task | kind | seed | status | attempts | events | violations |",
         "| --- | --- | --- | --- | --- | --- | --- |",

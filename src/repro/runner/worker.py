@@ -15,6 +15,7 @@ Per-run directory layout (under the sweep's ``--out DIR``)::
 
     <task_id>/trace.jsonl     the run's full JSONL trace
     <task_id>/metrics.json    metrics-registry snapshot
+    <task_id>/analytics.json  per-task repro.analytics document
     <task_id>/outcome.json    the same outcome dict returned to the parent
 
 Experiment kinds are looked up in :data:`EXPERIMENTS`; registering a
@@ -35,7 +36,9 @@ from typing import Callable, Dict, Tuple
 from repro.experiments import run_three_phase, run_trace_analysis
 from repro.faults import FaultPlan, run_chaos
 from repro.obs import JSONLSink, OBS, Profiler, profile_document
+from repro.obs.analytics import analytics_from_trace, dump_analytics
 from repro.obs.invariants import CheckerSink
+from repro.obs.report import EmptyTraceError
 from repro.runner.spec import TaskSpec
 
 __all__ = [
@@ -45,12 +48,20 @@ __all__ = [
     "METRICS_FILENAME",
     "OUTCOME_FILENAME",
     "PROFILE_FILENAME",
+    "ANALYTICS_FILENAME",
+    "ANALYTICS_BIN_SECONDS",
 ]
 
 TRACE_FILENAME = "trace.jsonl"
 METRICS_FILENAME = "metrics.json"
 OUTCOME_FILENAME = "outcome.json"
 PROFILE_FILENAME = "profile.json"
+ANALYTICS_FILENAME = "analytics.json"
+
+#: Bin width of the per-task analytics series.  A constant (not a
+#: knob) on purpose: the sweep rollup refuses to merge documents with
+#: differing windows, so every worker must agree.
+ANALYTICS_BIN_SECONDS = 10.0
 
 #: Violations listed per task in the aggregate (the count stays exact).
 MAX_LISTED_VIOLATIONS = 50
@@ -236,6 +247,19 @@ def run_task(spec_dict: Dict[str, object], out_dir: str,
     metrics = OBS.metrics.snapshot()
     (task_dir / METRICS_FILENAME).write_text(
         json.dumps(_jsonify(metrics), indent=2, sort_keys=True) + "\n")
+
+    # Per-task analytics: built from the task's own finished trace so
+    # the parent can merge rollups by task id without re-reading every
+    # trace.  Sim-derived only — part of the deterministic surface.
+    try:
+        analytics = analytics_from_trace(
+            str(task_dir / TRACE_FILENAME),
+            bin_seconds=ANALYTICS_BIN_SECONDS)
+    except EmptyTraceError:
+        pass          # a task that emitted no events has no series
+    else:
+        analytics["source"] = TRACE_FILENAME   # relative: dir-movable
+        dump_analytics(analytics, str(task_dir / ANALYTICS_FILENAME))
 
     ok = healthy and not violations
     outcome: Dict[str, object] = _jsonify({

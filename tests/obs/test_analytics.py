@@ -1,0 +1,320 @@
+"""repro.obs.analytics — series binning, latency percentiles,
+critical paths, rollup merging, and document validation."""
+
+import json
+
+import pytest
+
+from repro.obs.analytics import (
+    ANALYTICS_KIND,
+    ANALYTICS_VERSION,
+    ROLLUP_KIND,
+    AnalyticsError,
+    analytics_from_trace,
+    build_analytics,
+    dump_analytics,
+    load_analytics,
+    merge_analytics,
+    percentile,
+    render_timeline,
+    validate_analytics,
+)
+
+
+def write_trace(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    return str(path)
+
+
+def flow(span_id, t0, t1, name="client", nbytes=100.0, end="flow.finish"):
+    """A start/end event pair for one flow."""
+    return [
+        {"kind": "flow.start", "t": t0, "name": name, "span_id": span_id,
+         "total_bytes": nbytes},
+        {"kind": end, "t": t1, "name": name, "span_id": span_id,
+         "nbytes": nbytes},
+    ]
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 0.5)
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.5])
+    def test_bad_quantile_raises(self, q):
+        with pytest.raises(ValueError, match="quantile"):
+            percentile([1.0], q)
+
+    def test_nearest_rank_is_an_observed_value(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        # ceil(0.5*4)=2 -> vals[1]; ceil(0.99*4)=4 -> vals[3]
+        assert percentile(vals, 0.50) == 2.0
+        assert percentile(vals, 0.99) == 4.0
+        assert percentile(vals, 1.0) == 4.0
+
+    def test_singleton(self):
+        assert percentile([7.0], 0.001) == 7.0
+        assert percentile([7.0], 0.999) == 7.0
+
+
+class TestSeries:
+    def test_bins_anchor_at_origin_not_data(self):
+        events = [{"kind": "tick", "t": 25.0}]
+        doc = build_analytics(events, bin_seconds=10.0)
+        # origin 0.0: t=25 lands in bin 2, so three bins exist.
+        assert doc["window"]["origin"] == 0.0
+        assert doc["bins"] == 3
+
+    def test_window_is_half_open(self):
+        events = [{"kind": "tick", "t": 1.0},
+                  {"kind": "tick", "t": 2.0},
+                  {"kind": "tick", "t": 3.0}]
+        doc = build_analytics(events, since=1.0, until=3.0)
+        assert doc["events"]["in_window"] == 2
+        assert doc["events"]["t_max"] == 2.0
+
+    def test_client_throughput_counts_finishes_only(self):
+        events = (flow(1, 0.0, 5.0, nbytes=40.0)
+                  + flow(2, 0.0, 15.0, nbytes=60.0)
+                  + flow(3, 0.0, 18.0, name="migration", nbytes=999.0))
+        doc = build_analytics(events, bin_seconds=10.0)
+        # client bytes land in the finish bin; migration is excluded.
+        assert doc["series"]["client_throughput_bytes"] == [40.0, 60.0]
+
+    def test_live_flows_carry_forward_through_quiet_bins(self):
+        events = [
+            {"kind": "flow.start", "t": 0.0, "name": "client", "span_id": 1},
+            {"kind": "flow.start", "t": 1.0, "name": "client", "span_id": 2},
+            # nothing in bins 1-2, both end in bin 3
+            {"kind": "flow.finish", "t": 35.0, "name": "client",
+             "span_id": 1, "nbytes": 1.0},
+            {"kind": "flow.finish", "t": 36.0, "name": "client",
+             "span_id": 2, "nbytes": 1.0},
+        ]
+        doc = build_analytics(events, bin_seconds=10.0)
+        assert doc["series"]["live_flows"] == [2, 2, 2, 0]
+
+    def test_max_utilization_gaps_stay_none(self):
+        events = [{"kind": "bandwidth.solve", "t": 0.0, "max_util": 0.5},
+                  {"kind": "bandwidth.solve", "t": 2.0, "max_util": 0.9},
+                  {"kind": "tick", "t": 25.0}]
+        doc = build_analytics(events, bin_seconds=10.0)
+        assert doc["series"]["max_utilization"] == [0.9, None, None]
+
+    def test_degraded_read_events_counted(self):
+        events = [{"kind": "read.degraded", "t": 1.0, "oid": 5},
+                  {"kind": "read.degraded", "t": 2.0, "oid": 6},
+                  {"kind": "read.unavailable", "t": 11.0, "oid": 7}]
+        doc = build_analytics(events, bin_seconds=10.0)
+        assert doc["series"]["degraded_reads"] == [2, 0]
+        assert doc["series"]["unavailable_reads"] == [0, 1]
+
+    def test_server_bytes_in_splits_migration_targets(self):
+        events = [{"kind": "migration.move", "t": 1.0, "nbytes": 100.0,
+                   "to": [0, 3]},
+                  {"kind": "recovery.rereplicate", "t": 1.0, "rank": 3,
+                   "nbytes": 7.0}]
+        doc = build_analytics(events, bin_seconds=10.0)
+        assert doc["series"]["server_bytes_in"] == {
+            "0": [50.0], "3": [57.0]}
+
+    def test_bad_bin_rejected(self):
+        with pytest.raises(AnalyticsError, match="--bin"):
+            build_analytics([{"kind": "tick", "t": 0.0}], bin_seconds=0)
+
+    def test_bin_explosion_guard(self):
+        events = [{"kind": "tick", "t": 0.0},
+                  {"kind": "tick", "t": 1e9}]
+        with pytest.raises(AnalyticsError, match="bins"):
+            build_analytics(events, bin_seconds=0.001)
+
+
+class TestLatency:
+    def test_percentiles_and_counts(self):
+        events = []
+        for i, dur in enumerate([1.0, 2.0, 3.0, 4.0]):
+            events += flow(i, 10.0, 10.0 + dur)
+        doc = build_analytics(events)
+        lat = doc["latency"]["client"]
+        assert lat["completed"] == 4
+        assert lat["p50"] == 2.0
+        assert lat["p99"] == 4.0
+        assert lat["p999"] == 4.0
+        assert lat["mean"] == 2.5
+        assert lat["max"] == 4.0
+        assert lat["bytes_completed"] == 400.0
+
+    def test_interrupted_tail_is_separate(self):
+        events = (flow(1, 0.0, 2.0)
+                  + flow(2, 0.0, 50.0, end="flow.interrupt", nbytes=30.0))
+        doc = build_analytics(events)
+        lat = doc["latency"]["client"]
+        # headline percentiles only see the completed flow
+        assert lat["p99"] == 2.0
+        assert lat["interrupted"] == 1
+        assert lat["bytes_wasted"] == 30.0
+        assert lat["interrupted_tail"]["max"] == 50.0
+
+    def test_open_flows_counted_not_ranked(self):
+        events = [{"kind": "flow.start", "t": 0.0, "name": "migration",
+                   "span_id": 9}]
+        doc = build_analytics(events)
+        lat = doc["latency"]["migration"]
+        assert lat["open"] == 1
+        assert lat["completed"] == 0
+        assert lat["p50"] is None
+
+    def test_flow_ending_past_window_counts_as_open(self):
+        events = flow(1, 5.0, 500.0)
+        doc = build_analytics(events, until=100.0)
+        lat = doc["latency"]["client"]
+        assert lat["open"] == 1
+        assert lat["completed"] == 0
+
+
+class TestCriticalPaths:
+    @staticmethod
+    def span(span_id, name, t0, dur, parent=None):
+        return [
+            {"kind": "span.begin", "t": t0, "span_id": span_id,
+             "parent_id": parent, "name": name},
+            {"kind": "span.end", "t": t0 + dur, "span_id": span_id,
+             "duration": dur},
+        ]
+
+    def test_longest_child_chain_with_contributions(self):
+        events = (self.span(1, "resize.cycle", 0.0, 30.0)
+                  + self.span(2, "migration", 0.0, 10.0, parent=1)
+                  + self.span(3, "reintegration.commit", 10.0, 18.0,
+                              parent=1)
+                  + self.span(4, "flow", 10.0, 12.0, parent=3))
+        doc = build_analytics(events)
+        [p] = doc["critical_paths"]
+        assert p["root"] == "resize.cycle"
+        assert [s["name"] for s in p["path"]] == [
+            "resize.cycle", "reintegration.commit", "flow"]
+        # each level's contribution = its duration - chosen child's
+        assert [s["contribution"] for s in p["path"]] == [12.0, 6.0, 12.0]
+        assert p["depth"] == 3
+
+    def test_duration_tie_breaks_on_lower_span_id(self):
+        events = (self.span(1, "chaos.run", 0.0, 20.0)
+                  + self.span(5, "flow", 0.0, 8.0, parent=1)
+                  + self.span(3, "flow", 1.0, 8.0, parent=1))
+        doc = build_analytics(events)
+        [p] = doc["critical_paths"]
+        assert p["path"][1]["span_id"] == 3
+
+    def test_open_lifecycles_are_skipped(self):
+        events = [{"kind": "span.begin", "t": 0.0, "span_id": 1,
+                   "parent_id": None, "name": "chaos.run"}]
+        doc = build_analytics(events)
+        assert doc["critical_paths"] == []
+
+    def test_non_lifecycle_roots_are_skipped(self):
+        events = self.span(1, "flow", 0.0, 5.0)
+        doc = build_analytics(events)
+        assert doc["critical_paths"] == []
+
+
+class TestMerge:
+    @staticmethod
+    def docs(n=3, **kwargs):
+        out = {}
+        for i in range(n):
+            events = flow(1, 0.0, float(i + 1)) + [
+                {"kind": "read.degraded", "t": 2.0, "oid": 1}] * i
+            out[f"task-{i}"] = build_analytics(events, **kwargs)
+        return out
+
+    def test_rollup_bands(self):
+        rollup = merge_analytics(self.docs())
+        assert rollup["kind"] == ROLLUP_KIND
+        assert rollup["tasks"] == ["task-0", "task-1", "task-2"]
+        band = rollup["latency_bands"]["client"]["p50"]
+        assert band == {"lo": 1.0, "p50": 2.0, "hi": 3.0}
+        assert rollup["series_bands"]["degraded_reads"]["hi"] == [2]
+
+    def test_order_independent(self):
+        docs = self.docs()
+        a = merge_analytics(docs)
+        b = merge_analytics(dict(reversed(list(docs.items()))))
+        assert json.dumps(a, sort_keys=True) == json.dumps(b,
+                                                           sort_keys=True)
+
+    def test_window_mismatch_rejected(self):
+        docs = self.docs(n=2)
+        docs["task-1"] = build_analytics(flow(1, 0.0, 2.0),
+                                         bin_seconds=5.0)
+        with pytest.raises(AnalyticsError, match="window"):
+            merge_analytics(docs)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AnalyticsError, match="no documents"):
+            merge_analytics({})
+
+    def test_rollup_renders(self):
+        text = render_timeline(merge_analytics(self.docs()))
+        assert "Latency bands" in text
+        assert "task" in text
+
+
+class TestDocumentIO:
+    def test_dump_load_round_trip_is_byte_identical(self, tmp_path):
+        doc = build_analytics(flow(1, 0.0, 3.0), source="x")
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        dump_analytics(doc, str(p1))
+        dump_analytics(load_analytics(str(p1)), str(p2))
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_from_trace_sets_source(self, tmp_path):
+        trace = write_trace(tmp_path / "t.jsonl", flow(1, 0.0, 3.0))
+        doc = analytics_from_trace(trace)
+        assert doc["source"] == trace
+        assert doc["kind"] == ANALYTICS_KIND
+        assert doc["version"] == ANALYTICS_VERSION
+
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda d: d.update(kind="nope"), "kind"),
+        (lambda d: d.update(version=99), "version"),
+        (lambda d: d.pop("series"), "missing required key"),
+        (lambda d: d["window"].update(bin_seconds=-1), "bin_seconds"),
+    ])
+    def test_validate_rejects_broken_documents(self, mutate, match):
+        doc = build_analytics(flow(1, 0.0, 3.0))
+        mutate(doc)
+        with pytest.raises(AnalyticsError, match=match):
+            validate_analytics(doc)
+
+    def test_validate_rejects_non_dict(self):
+        with pytest.raises(AnalyticsError, match="JSON object"):
+            validate_analytics([1, 2, 3])
+
+    def test_load_invalid_json_names_the_line(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "repro.analytics",\n!!!\n}')
+        with pytest.raises(AnalyticsError, match="line 2"):
+            load_analytics(str(bad))
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(AnalyticsError, match="cannot read"):
+            load_analytics(str(tmp_path / "absent.json"))
+
+
+class TestRenderTimeline:
+    def test_single_run_sections(self):
+        events = (flow(1, 0.0, 3.0)
+                  + TestCriticalPaths.span(2, "resize.cycle", 0.0, 9.0))
+        text = render_timeline(build_analytics(events, source="t.jsonl"))
+        assert "Flow latency" in text
+        assert "Time-series summary" in text
+        assert "resize.cycle #2" in text
+
+    def test_determinism(self):
+        events = flow(1, 0.0, 3.0) + flow(2, 1.0, 7.0)
+        a = build_analytics(events, source="s")
+        b = build_analytics(list(events), source="s")
+        assert (json.dumps(a, sort_keys=True)
+                == json.dumps(b, sort_keys=True))
+        assert render_timeline(a) == render_timeline(b)

@@ -198,3 +198,65 @@ class TestCompareRuns:
         r = compare_runs(str(base), str(timings), threshold=0.25)
         assert r.ok
         assert {d.name for d in r.deltas} == {"bench_locate"}
+
+
+class TestAnalyticsComparison:
+    @staticmethod
+    def analytics(tmp_path, name, sojourn):
+        from repro.obs.analytics import build_analytics, dump_analytics
+        events = [
+            {"kind": "flow.start", "t": 0.0, "name": "client",
+             "span_id": 1},
+            {"kind": "flow.finish", "t": sojourn, "name": "client",
+             "span_id": 1, "nbytes": 100.0},
+        ]
+        path = tmp_path / name
+        dump_analytics(build_analytics(events, source="t"), str(path))
+        return path
+
+    def test_identical_analytics_is_ok(self, tmp_path):
+        a = self.analytics(tmp_path, "a.json", 3.0)
+        b = self.analytics(tmp_path, "b.json", 3.0)
+        r = compare_runs(str(a), str(b))
+        assert r.ok
+        assert "analytics" in r.sections
+
+    def test_run_dir_autodetects_analytics(self, tmp_path):
+        da, db = tmp_path / "a", tmp_path / "b"
+        da.mkdir(); db.mkdir()           # noqa: E702
+        self.analytics(da, "analytics.json", 3.0)
+        self.analytics(db, "analytics.json", 5.0)
+        arts = _run_artifacts(str(da))
+        assert arts.get("analytics", "").endswith("analytics.json")
+        r = compare_runs(str(da), str(db))
+        # sim-derived differences classify as drift: ok by default...
+        assert r.ok
+        assert any(d.kind == "drift" for d in r.deltas)
+
+    def test_strict_gates_analytics_drift(self, tmp_path):
+        a = self.analytics(tmp_path, "a.json", 3.0)
+        b = self.analytics(tmp_path, "b.json", 5.0)
+        r = compare_runs(str(a), str(b), strict=True)
+        assert not r.ok and r.exit_code == 1
+        text = render_compare(r)
+        assert "Analytics" in text
+
+    def test_rollup_detected_in_run_dir(self, tmp_path):
+        from repro.obs.analytics import (dump_analytics, load_analytics,
+                                         merge_analytics)
+        da, db = tmp_path / "a", tmp_path / "b"
+        da.mkdir(); db.mkdir()           # noqa: E702
+        doc = load_analytics(str(self.analytics(tmp_path, "t.json", 3.0)))
+        for d in (da, db):
+            dump_analytics(merge_analytics({"t0": doc}),
+                           str(d / "analytics_rollup.json"))
+        r = compare_runs(str(da), str(db))
+        assert r.ok and "analytics" in r.sections
+
+    def test_corrupt_analytics_raises_compare_error(self, tmp_path):
+        a = self.analytics(tmp_path, "a.json", 3.0)
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "analytics.json").write_text('{"kind": "repro.analytics"}')
+        with pytest.raises(CompareError):
+            compare_runs(str(a), str(bad / "analytics.json"))

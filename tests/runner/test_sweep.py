@@ -84,6 +84,39 @@ class TestDeterminism:
             .read_text())
         assert on_disk == task.outcome
 
+    def test_analytics_rollup_byte_identical_across_worker_counts(
+            self, two_sweeps):
+        r1, r4 = two_sweeps
+        assert r1.analytics_rollup_path is not None
+        assert r4.analytics_rollup_path is not None
+        assert sha256(r1.analytics_rollup_path) \
+            == sha256(r4.analytics_rollup_path)
+
+    def test_per_task_analytics_byte_identical(self, two_sweeps):
+        from repro.runner.worker import ANALYTICS_FILENAME
+        r1, r4 = two_sweeps
+        for task in r1.tasks:
+            a1 = r1.out_dir / task.spec.task_id / ANALYTICS_FILENAME
+            a4 = r4.out_dir / task.spec.task_id / ANALYTICS_FILENAME
+            assert sha256(a1) == sha256(a4), task.spec.task_id
+
+    def test_analytics_rollup_merges_every_task(self, two_sweeps):
+        from repro.obs.analytics import ROLLUP_KIND, load_analytics
+        r1, _ = two_sweeps
+        doc = load_analytics(str(r1.analytics_rollup_path))
+        assert doc["kind"] == ROLLUP_KIND
+        assert doc["tasks"] == sorted(t.spec.task_id for t in r1.tasks)
+        assert doc["latency_bands"]          # at least one flow class
+
+    def test_per_task_analytics_source_is_relative(self, two_sweeps):
+        """The document must not bake in the absolute out dir — task
+        directories are movable artifacts."""
+        from repro.runner.worker import ANALYTICS_FILENAME
+        r1, _ = two_sweeps
+        task_dir = r1.out_dir / r1.tasks[0].spec.task_id
+        doc = json.loads((task_dir / ANALYTICS_FILENAME).read_text())
+        assert doc["source"] == TRACE_FILENAME
+
     def test_wall_clock_stays_out_of_the_aggregate(self, two_sweeps):
         r1, _ = two_sweeps
         text = r1.aggregate_path.read_text()

@@ -1,0 +1,93 @@
+"""Bench-history store: the same-sha replacement guard.
+
+Re-running a bench at the same git sha must update that commit's line
+in ``history/<name>.jsonl`` in place — never append a duplicate — while
+lines from other commits (or with no sha) are left untouched.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_UTILS = (Path(__file__).resolve().parent.parent
+          / "benchmarks" / "_bench_utils.py")
+
+
+@pytest.fixture()
+def bench_utils(tmp_path):
+    """A private import of benchmarks/_bench_utils.py with its history
+    store pointed into tmp_path (the module-level JSON_DIR knob)."""
+    spec = importlib.util.spec_from_file_location("_bench_utils_under_test",
+                                                  _UTILS)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    mod.JSON_DIR = tmp_path
+    return mod
+
+
+def read_history(mod, name):
+    path = mod.history_dir() / f"{name}.jsonl"
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def meta(sha):
+    return {"git_sha": sha, "python": "3.11.0", "platform": "linux-x86"}
+
+
+class TestSameShaReplacement:
+    def test_rerun_at_same_sha_does_not_duplicate(self, bench_utils):
+        bench_utils.append_history("b", {"v": 1}, meta("abc"))
+        bench_utils.append_history("b", {"v": 2}, meta("abc"))
+        lines = read_history(bench_utils, "b")
+        assert len(lines) == 1
+        assert lines[0]["data"] == {"v": 2}     # freshest wins
+
+    def test_new_sha_appends(self, bench_utils):
+        bench_utils.append_history("b", {"v": 1}, meta("abc"))
+        bench_utils.append_history("b", {"v": 2}, meta("def"))
+        lines = read_history(bench_utils, "b")
+        assert [ln["meta"]["git_sha"] for ln in lines] == ["abc", "def"]
+
+    def test_one_line_per_sha_even_after_checkout_roundtrip(
+            self, bench_utils):
+        # abc ... def ... back to abc: the abc line updates in place,
+        # so the store holds exactly one measurement per {bench, sha}.
+        bench_utils.append_history("b", {"v": 1}, meta("abc"))
+        bench_utils.append_history("b", {"v": 2}, meta("def"))
+        bench_utils.append_history("b", {"v": 3}, meta("abc"))
+        bench_utils.append_history("b", {"v": 4}, meta("abc"))
+        lines = read_history(bench_utils, "b")
+        assert [(ln["meta"]["git_sha"], ln["data"]["v"])
+                for ln in lines] == [("abc", 4), ("def", 2)]
+
+    def test_missing_sha_always_appends(self, bench_utils):
+        # No attribution (e.g. a source tarball, no git): we cannot
+        # know it is the same commit, so never overwrite.
+        bench_utils.append_history("b", {"v": 1}, meta(None))
+        bench_utils.append_history("b", {"v": 2}, meta(None))
+        assert len(read_history(bench_utils, "b")) == 2
+
+    def test_other_benches_unaffected(self, bench_utils):
+        bench_utils.append_history("x", {"v": 1}, meta("abc"))
+        bench_utils.append_history("y", {"v": 2}, meta("abc"))
+        assert read_history(bench_utils, "x")[0]["data"] == {"v": 1}
+        assert read_history(bench_utils, "y")[0]["data"] == {"v": 2}
+
+    def test_unparsable_lines_are_preserved_verbatim(self, bench_utils):
+        bench_utils.append_history("b", {"v": 1}, meta("abc"))
+        path = bench_utils.history_dir() / "b.jsonl"
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+        bench_utils.append_history("b", {"v": 2}, meta("abc"))
+        raw = path.read_text().splitlines()
+        assert raw[1] == "not json"
+        assert json.loads(raw[0])["data"] == {"v": 2}
+        assert len(raw) == 2
+
+    def test_lines_stay_compact_single_line_json(self, bench_utils):
+        bench_utils.append_history("b", {"v": [1, 2]}, meta("abc"))
+        raw = (bench_utils.history_dir() / "b.jsonl").read_text()
+        assert raw.count("\n") == 1
+        assert ": " not in raw      # compact separators

@@ -150,12 +150,19 @@ class TestObservabilityFlags:
         capsys.readouterr()
 
         # The first tick lands at t=1; a window past it excludes the
-        # t=0 flow.start but keeps the engine ticks.
+        # t=0 flow.start but keeps the engine ticks.  Windows are
+        # half-open [since, until): the t=3 tick is outside [1, 3).
         assert main(["stats", str(path), "--since", "1.0",
-                     "--until", "2.0"]) == 0
+                     "--until", "3.0"]) == 0
         out = capsys.readouterr().out
         assert "engine.tick" in out
         assert "t = [1, 2] s" in out
+
+        # Exclusive upper bound: [1, 2) keeps only the t=1 tick, so
+        # adjacent windows partition the trace without double counting.
+        assert main(["stats", str(path), "--since", "1.0",
+                     "--until", "2.0"]) == 0
+        assert "t = [1, 1] s" in capsys.readouterr().out
 
         assert main(["stats", str(path), "--since", "1e9"]) == 0
         assert "no matching trace events" in capsys.readouterr().out
@@ -346,6 +353,104 @@ class TestProfileCommand:
         path.write_text('{"kind": "something.else"}')
         assert main(["profile", str(path)]) == 2
         assert "not a repro profile" in capsys.readouterr().err
+
+
+class TestTimelineCommand:
+    @pytest.fixture()
+    def chaos_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["chaos", "--seed", "7", "--scale", "0.05",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_timeline_renders_report(self, chaos_trace, capsys):
+        assert main(["timeline", str(chaos_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Flow latency" in out
+        assert "client" in out
+        assert "Critical paths" in out
+
+    def test_timeline_writes_artifacts(self, chaos_trace, tmp_path,
+                                       capsys):
+        import hashlib
+        import json
+        digests = []
+        for name in ("a", "b"):
+            js = tmp_path / f"{name}.json"
+            html = tmp_path / f"{name}.html"
+            assert main(["timeline", str(chaos_trace),
+                         "--json", str(js), "--html", str(html)]) == 0
+            doc = json.loads(js.read_text())
+            assert doc["kind"] == "repro.analytics"
+            digests.append((hashlib.sha256(js.read_bytes()).hexdigest(),
+                            hashlib.sha256(html.read_bytes()).hexdigest()))
+        capsys.readouterr()
+        # same trace, two invocations: byte-identical artifacts
+        assert digests[0] == digests[1]
+
+    def test_timeline_check_only_validates_saved_document(
+            self, chaos_trace, tmp_path, capsys):
+        js = tmp_path / "analytics.json"
+        assert main(["timeline", str(chaos_trace),
+                     "--json", str(js)]) == 0
+        capsys.readouterr()
+        assert main(["timeline", str(js), "--check-only"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "repro.analytics" in out
+
+    def test_timeline_window_flags_are_half_open(self, chaos_trace,
+                                                 capsys):
+        assert main(["timeline", str(chaos_trace),
+                     "--since", "0", "--until", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "window [0, 30)" in out
+
+    def test_corrupt_trace_is_clean_error_with_line_number(
+            self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "tick", "t": 1.0}\n{oops\n')
+        assert main(["timeline", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "Traceback" not in err
+
+    def test_empty_trace_is_clean_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["timeline", str(empty)]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_inverted_window_rejected(self, chaos_trace):
+        with pytest.raises(SystemExit, match="empty time window"):
+            main(["timeline", str(chaos_trace),
+                  "--since", "9", "--until", "1"])
+
+    def test_html_refused_for_rollups(self, chaos_trace, tmp_path):
+        from repro.obs.analytics import (analytics_from_trace,
+                                         dump_analytics, merge_analytics)
+        doc = analytics_from_trace(str(chaos_trace))
+        rollup = tmp_path / "rollup.json"
+        dump_analytics(merge_analytics({"t0": doc}), str(rollup))
+        with pytest.raises(SystemExit, match="rollup"):
+            main(["timeline", str(rollup),
+                  "--html", str(tmp_path / "d.html")])
+
+
+class TestReportWindow:
+    def test_report_since_until_filters_presentation(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["chaos", "--seed", "7", "--scale", "0.05",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path),
+                     "--since", "0", "--until", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "window [0, 30)" in out
+        # invariants still run over the full stream
+        assert "full stream" in out
 
 
 class TestCompareCommand:

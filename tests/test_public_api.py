@@ -74,6 +74,10 @@ SURFACE = {
         "collapsed_stacks", "load_profile", "render_profile",
         "compare_runs", "render_compare", "render_run_report",
         "render_trace_stats", "check_trace", "render_check",
+        "AnalyticsError", "build_analytics", "analytics_from_trace",
+        "merge_analytics", "validate_analytics", "load_analytics",
+        "dump_analytics", "render_timeline", "percentile",
+        "render_dashboard", "write_dashboard",
     ],
     "repro.runner": [
         "TaskSpec", "TaskResult", "SweepRunner", "SweepResult",
