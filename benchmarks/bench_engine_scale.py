@@ -1,0 +1,262 @@
+"""Engine scale: columnar solver + batched ticks vs the seed hot loop.
+
+Not a paper artefact — this guards the fluid-IO engine's own
+performance at the cluster sizes the trace replays and robustness
+sweeps want (hundreds to 1000 servers).  Three layers:
+
+* a (servers × flows) grid of ``IOModel.run`` scenarios timed under
+  the seed configuration (``REPRO_SOLVER=scalar``,
+  ``REPRO_BATCH_TICKS=0``) and the default one (auto solver dispatch +
+  allocation reuse + horizon batching), asserting the two produce
+  bit-identical samples;
+* the two acceptance gates: ≥10× on the 1000-server solve-dominated
+  scenario and ≥5× on an end-to-end fig7 replay scaled to 1000
+  servers;
+* solver micro-medians (scalar vs columnar on one 1000-server
+  instance, plus small-instance scalar medians) so CI's history gate
+  catches a regression in either backend.
+
+The committed ``benchmarks/reports/engine_scale_baseline.json``
+records the medians measured when the columnar engine landed; CI runs
+this bench and gates the fresh timings against that file with
+``repro compare``.
+"""
+
+import math
+import os
+import random
+import time
+
+from _bench_utils import emit_report, once
+from repro.experiments import run_three_phase
+from repro.metrics.report import render_table
+from repro.simulation.bandwidth import FlowSpec, max_min_fair_scalar
+from repro.simulation.columnar import max_min_fair_columnar
+from repro.simulation.flows import FluidFlow
+from repro.simulation.iomodel import IOModel
+
+SEED_ENV = {"REPRO_SOLVER": "scalar", "REPRO_BATCH_TICKS": "0"}
+DEFAULT_ENV = {}
+ENV_KEYS = ("REPRO_SOLVER", "REPRO_BATCH_TICKS")
+
+#: (servers, flows) grid for the engine-throughput table.
+GRID = [(25, 16), (100, 16), (400, 16), (1000, 16), (1000, 64)]
+GRID_TICKS = 120
+
+#: The gated solve-dominated scenario and fig7-replay configuration.
+GATE_TICKS = 150
+GATE_ENGINE_MIN_SPEEDUP = 10.0
+GATE_FIG7_MIN_SPEEDUP = 5.0
+
+
+def _set_env(env):
+    for key in ENV_KEYS:
+        os.environ.pop(key, None)
+    os.environ.update(env)
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def _engine_scenario(n, n_flows, ticks, env):
+    """Streams (a quarter elastic, the rest rate-capped) over *n*
+    servers for *ticks* seconds; returns (elapsed wall seconds,
+    samples)."""
+    _set_env(env)
+    rng = random.Random(0xEC5)
+    caps = {i: rng.uniform(40e6, 80e6) for i in range(n)}
+    io = IOModel(lambda: caps, dt=1.0)
+    for i in range(n_flows):
+        coeffs = {r: rng.uniform(0.5, 2.0) for r in range(n)}
+        if i % 4 == 0:
+            io.flows.add(FluidFlow(f"s{i}", coeffs))
+        else:
+            io.flows.add(FluidFlow(f"c{i}", coeffs,
+                                   rate_cap=rng.uniform(1e6, 5e6)))
+    t0 = time.perf_counter()
+    io.run(float(ticks))
+    return time.perf_counter() - t0, io.samples
+
+
+def _fig7_replay(env):
+    """The three-phase driver end-to-end, scaled to 1000 servers (256 MB
+    objects keep the placement write path from drowning the engine
+    work this bench is about)."""
+    _set_env(env)
+    t0 = time.perf_counter()
+    r = run_three_phase(
+        "selective", n=1000, off_count=400, scale=1.0,
+        object_size=256 * 1024 * 1024, disk_bw=64e6, client_cap=3200e6,
+        selective_rate_limit=500e6)
+    elapsed = time.perf_counter() - t0
+    fingerprint = (len(r.times), r.times[-1], r.migrated_bytes,
+                   tuple(r.throughput[::25]))
+    return elapsed, fingerprint
+
+
+def _solver_instance(n, n_flows, seed=1):
+    rng = random.Random(seed)
+    caps = {i: rng.uniform(40e6, 80e6) for i in range(n)}
+    flows = []
+    for i in range(n_flows):
+        coeffs = {r: rng.uniform(0.5, 2.0) for r in range(n)}
+        demand = math.inf if i % 4 == 0 else rng.uniform(10e6, 100e6)
+        flows.append(FlowSpec(coeffs, demand))
+    return flows, caps
+
+
+def _measure():
+    out = {"grid": [], "benches": {}, "speedups": {}}
+
+    # Engine-throughput grid: seed vs default path, identical samples.
+    for n, n_flows in GRID:
+        seed_s, seed_samples = _engine_scenario(n, n_flows, GRID_TICKS,
+                                                SEED_ENV)
+        new_s, new_samples = _engine_scenario(n, n_flows, GRID_TICKS,
+                                              DEFAULT_ENV)
+        assert seed_samples == new_samples, \
+            f"samples diverged at n={n} flows={n_flows}"
+        out["grid"].append({
+            "servers": n, "flows": n_flows, "ticks": GRID_TICKS,
+            "seed_s": seed_s, "new_s": new_s,
+            "seed_ticks_per_s": GRID_TICKS / seed_s,
+            "new_ticks_per_s": GRID_TICKS / new_s,
+            "speedup": seed_s / new_s,
+        })
+        out["benches"][f"engine_{n}x{n_flows}"] = {
+            "median_s": new_s, "seed_median_s": seed_s,
+            "what": f"IOModel.run, {n} servers x {n_flows} flows x "
+                    f"{GRID_TICKS} ticks (default path)"}
+    out["benches"]["engine_1000x64_seedpath"] = {
+        "median_s": out["grid"][-1]["seed_s"],
+        "what": "same 1000x64 scenario forced down the seed path "
+                "(REPRO_SOLVER=scalar, REPRO_BATCH_TICKS=0) — guards "
+                "the scalar reference against regressions"}
+
+    # Gate 1: solve-dominated 1000-server scenario, >= 10x.
+    seed_runs, new_runs = [], []
+    for _ in range(3):
+        s, seed_samples = _engine_scenario(1000, 64, GATE_TICKS, SEED_ENV)
+        seed_runs.append(s)
+        t, new_samples = _engine_scenario(1000, 64, GATE_TICKS,
+                                          DEFAULT_ENV)
+        new_runs.append(t)
+        assert seed_samples == new_samples
+    engine_seed, engine_new = _median(seed_runs), _median(new_runs)
+    engine_speedup = engine_seed / engine_new
+    out["benches"]["engine_gate_1000x64"] = {
+        "median_s": engine_new, "seed_median_s": engine_seed,
+        "what": f"gated scenario: 1000 servers x 64 flows x "
+                f"{GATE_TICKS} ticks, median of 3"}
+    out["speedups"]["engine_1000x64"] = {
+        "required_x": GATE_ENGINE_MIN_SPEEDUP, "measured_x": engine_speedup}
+
+    # Gate 2: end-to-end fig7 replay at 1000 servers, >= 5x.
+    seed_runs, new_runs = [], []
+    for _ in range(3):
+        s, seed_fp = _fig7_replay(SEED_ENV)
+        seed_runs.append(s)
+        t, new_fp = _fig7_replay(DEFAULT_ENV)
+        new_runs.append(t)
+        assert seed_fp == new_fp, "fig7 replay results diverged"
+    fig7_seed, fig7_new = _median(seed_runs), _median(new_runs)
+    fig7_speedup = fig7_seed / fig7_new
+    out["benches"]["fig7_replay_1000"] = {
+        "median_s": fig7_new, "seed_median_s": fig7_seed,
+        "what": "run_three_phase selective, n=1000, end-to-end, "
+                "median of 3"}
+    out["speedups"]["fig7_replay_1000"] = {
+        "required_x": GATE_FIG7_MIN_SPEEDUP, "measured_x": fig7_speedup}
+
+    # Solver micro-medians (both backends, bit-identical results).
+    flows, caps = _solver_instance(1000, 64)
+    scalar_runs, columnar_runs = [], []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        r_scalar = max_min_fair_scalar(flows, caps)
+        scalar_runs.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        r_columnar = max_min_fair_columnar(flows, caps)
+        columnar_runs.append(time.perf_counter() - t0)
+        assert r_scalar == r_columnar
+    out["benches"]["solver_scalar_1000x64"] = {
+        "median_s": _median(scalar_runs),
+        "what": "one max_min_fair_scalar solve, 1000 servers x 64 "
+                "cluster-wide flows"}
+    out["benches"]["solver_columnar_1000x64"] = {
+        "median_s": _median(columnar_runs),
+        "what": "the same solve through the columnar backend"}
+
+    small_flows, small_caps = _solver_instance(25, 8)
+    small_runs = []
+    for _ in range(20):
+        t0 = time.perf_counter()
+        max_min_fair_scalar(small_flows, small_caps)
+        small_runs.append(time.perf_counter() - t0)
+    out["benches"]["solver_scalar_25x8"] = {
+        "median_s": _median(small_runs),
+        "what": "small-instance scalar solve (the paper-scale per-tick "
+                "cost the auto cutover keeps on the dict loop)"}
+
+    assert engine_speedup >= GATE_ENGINE_MIN_SPEEDUP, (
+        f"solve-dominated 1000-server scenario speedup "
+        f"{engine_speedup:.1f}x below {GATE_ENGINE_MIN_SPEEDUP}x")
+    assert fig7_speedup >= GATE_FIG7_MIN_SPEEDUP, (
+        f"fig7 replay speedup {fig7_speedup:.1f}x below "
+        f"{GATE_FIG7_MIN_SPEEDUP}x")
+    return out
+
+
+def bench_engine_scale(benchmark):
+    try:
+        out = once(benchmark, _measure)
+    finally:
+        _set_env(DEFAULT_ENV)
+
+    grid_rows = [[f"{g['servers']}x{g['flows']}", g["ticks"],
+                  round(g["seed_ticks_per_s"], 1),
+                  round(g["new_ticks_per_s"], 1),
+                  f"{g['speedup']:.1f}x"]
+                 for g in out["grid"]]
+    gate_rows = [
+        ["engine 1000x64 (solve-dominated)",
+         round(out["benches"]["engine_gate_1000x64"]["seed_median_s"], 3),
+         round(out["benches"]["engine_gate_1000x64"]["median_s"], 3),
+         f"{out['speedups']['engine_1000x64']['measured_x']:.1f}x",
+         f">= {GATE_ENGINE_MIN_SPEEDUP:.0f}x"],
+        ["fig7 replay n=1000 (end-to-end)",
+         round(out["benches"]["fig7_replay_1000"]["seed_median_s"], 3),
+         round(out["benches"]["fig7_replay_1000"]["median_s"], 3),
+         f"{out['speedups']['fig7_replay_1000']['measured_x']:.1f}x",
+         f">= {GATE_FIG7_MIN_SPEEDUP:.0f}x"],
+    ]
+    solver_rows = [
+        [name, f"{out['benches'][name]['median_s'] * 1e3:.3f}"]
+        for name in ("solver_scalar_1000x64", "solver_columnar_1000x64",
+                     "solver_scalar_25x8")
+    ]
+    # Bench entries go at the top level of ``data`` so ``repro
+    # compare`` finds their ``median_s`` leaves and can gate this file
+    # against the committed baseline.
+    emit_report("engine_scale", "\n".join([
+        render_table(
+            ["servers x flows", "ticks",
+             "seed ticks/s", "default ticks/s", "speedup"],
+            grid_rows,
+            title="IOModel.run throughput, seed path vs default "
+                  "(columnar + batching); sim-seconds per wall-second "
+                  "= ticks/s (dt=1)"),
+        "",
+        render_table(
+            ["gated scenario", "seed median s", "default median s",
+             "measured", "required"],
+            gate_rows, title="acceptance gates (bit-identical results "
+                             "asserted on every run)"),
+        "",
+        render_table(["solver instance", "median ms"], solver_rows,
+                     title="one-solve medians (both backends produce "
+                           "identical rates)"),
+    ]), data={**out["benches"], "grid": out["grid"],
+              "speedups": out["speedups"]})

@@ -155,7 +155,16 @@ def run_three_phase(
             frac_cache[key] = replica_load_fractions_from_matrix(matrix)
         return frac_cache[key]
 
-    io = IOModel(capacities, dt=dt)
+    if elastic_mode:
+        # Capacities depend only on the membership table, and every
+        # membership transition bumps the placement version — a cheap
+        # token that lets unchanged ticks reuse the last allocation.
+        io = IOModel(capacities, dt=dt,
+                     capacity_token=lambda: cluster.ech.current_version)
+    else:
+        # Original-CH membership has no version counter; the dict-
+        # compare fallback is plenty at these cluster sizes.
+        io = IOModel(capacities, dt=dt)
 
     # ------------------------------------------------------------------
     # client phases

@@ -166,7 +166,13 @@ def run_chaos(
             frac_cache[key] = replica_load_fractions_from_matrix(matrix)
         return frac_cache[key]
 
-    io = IOModel(capacities, dt=dt)
+    # Capacities depend on the membership table (placement version)
+    # and the injector's ambient degradation windows (its generation
+    # bumps on every fired action) — together a complete, cheap token
+    # for "capacities provably unchanged since the last solve".
+    io = IOModel(capacities, dt=dt,
+                 capacity_token=lambda: (cluster.ech.current_version,
+                                         injector.generation))
 
     def transfer_coefficients(planned: PlannedTransfer,
                               _job: TransferJob) -> Dict[int, float]:

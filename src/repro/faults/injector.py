@@ -70,6 +70,11 @@ class FaultInjector:
         self._lost_links: Dict[FrozenSet[int], int] = {}
         #: (time, action) log of everything injected, in firing order.
         self.applied: List[Tuple[float, FaultAction]] = []
+        #: Bumped on every fired action — composes into the IO model's
+        #: capacity token so a tick after *any* injection (conservative
+        #: but cheap) re-reads capacities instead of reusing a cached
+        #: allocation.
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # arming
@@ -141,6 +146,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _fire(self, action: FaultAction) -> None:
         now = self._sim.now if self._sim is not None else 0.0
+        self.generation += 1
         if action.kind == "slow_disk.start":
             self._slow.setdefault(action.rank, []).append(action.factor)
         elif action.kind == "slow_disk.end":

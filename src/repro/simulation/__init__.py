@@ -12,17 +12,28 @@ storage servers' disks.  We reproduce them with:
   (client IO, re-replication, re-integration) as fluid demands;
 * :class:`IOModel` — the per-tick loop gluing flows to capacities and
   recording throughput timelines.
+
+Two env switches tune the hot loop without changing any result (both
+backends/paths are bit-identical, property- and trace-tested):
+``REPRO_SOLVER`` picks the allocation backend (``auto`` / ``scalar`` /
+``columnar`` — see :mod:`repro.simulation.columnar`), and
+``REPRO_BATCH_TICKS`` toggles allocation reuse and horizon-batched
+ticks across unchanged ticks.
 """
 
 from repro.simulation.engine import Event, Simulator
-from repro.simulation.bandwidth import max_min_fair
+from repro.simulation.bandwidth import max_min_fair, solver_mode
+from repro.simulation.columnar import max_min_fair_columnar
 from repro.simulation.flows import FluidFlow, FlowSet
-from repro.simulation.iomodel import IOModel
+from repro.simulation.iomodel import IOModel, batching_enabled
 
 __all__ = [
     "Event",
     "Simulator",
     "max_min_fair",
+    "max_min_fair_columnar",
+    "solver_mode",
+    "batching_enabled",
     "FluidFlow",
     "FlowSet",
     "IOModel",

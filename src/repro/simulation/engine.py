@@ -23,20 +23,27 @@ class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`
     so callers can :meth:`cancel` it."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int,
-                 fn: Callable[..., Any], args: tuple) -> None:
+                 fn: Callable[..., Any], args: tuple,
+                 sim: "Optional[Simulator]" = None) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (O(1); the heap entry is
-        skipped lazily when popped)."""
+        skipped lazily when popped).  Idempotent — a double cancel
+        must not decrement the owning simulator's live count twice."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -62,6 +69,11 @@ class Simulator:
         self.now = float(start_time)
         self._heap: List[Event] = []
         self._seq = itertools.count()
+        #: Live (scheduled, not yet fired or cancelled) event count —
+        #: kept exact on schedule/cancel/pop so :attr:`pending` is O(1)
+        #: instead of an O(heap) scan per call (it is consulted on
+        #: every ``engine.clock`` emit).
+        self._live = 0
         self._events_counter = OBS.metrics.counter("engine.events")
         self._sched_counter = OBS.metrics.counter("engine.scheduled")
 
@@ -78,8 +90,9 @@ class Simulator:
         """Run ``fn(*args)`` at absolute time *t* (>= now)."""
         if t < self.now:
             raise ValueError(f"cannot schedule at {t} < now={self.now}")
-        ev = Event(t, next(self._seq), fn, args)
+        ev = Event(t, next(self._seq), fn, args, sim=self)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         self._sched_counter.inc()
         return ev
 
@@ -108,7 +121,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Live-event count, maintained incrementally (O(1))."""
+        return self._live
 
     def clear(self) -> int:
         """Cancel every pending event (teardown / preemption of a whole
@@ -135,6 +149,8 @@ class Simulator:
             if ev.cancelled:
                 OBS.metrics.inc("engine.cancelled")
                 continue
+            self._live -= 1
+            ev._sim = None      # a late cancel() must not decrement again
             self.now = ev.time
             self._events_counter.inc()
             bus = OBS.bus

@@ -96,15 +96,67 @@ class FluidFlow:
 
 
 class FlowSet:
-    """The live flows plus per-tick advancement."""
+    """The live flows plus per-tick advancement.
+
+    Internally the set keeps a position index (``id(flow) →`` slot in
+    the backing list) so :meth:`remove` and :meth:`interrupt` are O(1)
+    tombstone writes instead of ``list.remove`` O(F) scans — a
+    mass-interrupt fault storm used to be O(F²).  Tombstones preserve
+    insertion order exactly (``interrupt_involving`` and iteration
+    stay deterministic); the backing list compacts once more than
+    half of it is dead.
+
+    :attr:`generation` increments on every membership change (add /
+    remove / interrupt / completion) — the allocation cache and
+    :class:`~repro.simulation.iomodel.IOModel`'s horizon batching key
+    on it to know when a cached max-min-fair solution is stale.
+    """
+
+    #: Compact the backing list when it holds at least this many
+    #: tombstones and they outnumber the live flows.
+    _COMPACT_MIN_DEAD = 32
 
     def __init__(self) -> None:
-        self._flows: List[FluidFlow] = []
+        self._flows: List[Optional[FluidFlow]] = []
+        self._pos: Dict[int, int] = {}
+        self._dead = 0
+        #: Monotone membership version; any change invalidates cached
+        #: allocations.
+        self.generation = 0
+        #: Last-solve snapshot for the batched fast path (see
+        #: :meth:`advance_cached`).
+        self._alloc: Optional[Dict[str, object]] = None
+
+    # -- membership internals ------------------------------------------
+    def _live_list(self) -> List[FluidFlow]:
+        return [f for f in self._flows if f is not None]
+
+    def _discard(self, flow: FluidFlow, *, strict: bool = True) -> bool:
+        """Tombstone *flow* out of the set (O(1)); compacts when the
+        dead fraction crosses one half."""
+        pos = self._pos.pop(id(flow), None)
+        if pos is None:
+            if strict:
+                raise ValueError(f"flow {flow.name!r} not in flow set")
+            return False
+        self._flows[pos] = None
+        self._dead += 1
+        self.generation += 1
+        if (self._dead >= self._COMPACT_MIN_DEAD
+                and self._dead > len(self._pos)):
+            self._flows = self._live_list()
+            self._pos = {id(f): i for i, f in enumerate(self._flows)}
+            self._dead = 0
+        return True
 
     def add(self, flow: FluidFlow, parent=None) -> FluidFlow:
         """Admit a flow, opening its ``flow`` lifecycle span (optionally
         parented to a larger lifecycle, e.g. a resize cycle)."""
+        if id(flow) in self._pos:
+            raise ValueError(f"flow {flow.name!r} already in flow set")
+        self._pos[id(flow)] = len(self._flows)
         self._flows.append(flow)
+        self.generation += 1
         OBS.metrics.inc("flows.started")
         flow.span = OBS.spans.begin("flow", parent=parent, flow=flow.name)
         bus = OBS.bus
@@ -120,7 +172,7 @@ class FlowSet:
         """Retire a flow the driver no longer wants (an open-ended
         stream at phase end, an abandoned transfer): emits
         ``flow.cancel`` and closes the span as cancelled."""
-        self._flows.remove(flow)
+        self._discard(flow)
         OBS.metrics.inc("flows.cancelled")
         bus = OBS.bus
         if bus.active:
@@ -138,7 +190,7 @@ class FlowSet:
         only commits on completion), and ``on_interrupt`` fires so the
         owner can re-enqueue the transfer.  Returns the wasted bytes.
         """
-        self._flows.remove(flow)
+        self._discard(flow)
         wasted = flow.progressed
         OBS.metrics.inc("flows.interrupted")
         OBS.metrics.inc("flows.wasted_bytes", wasted)
@@ -156,8 +208,9 @@ class FlowSet:
 
     def involving(self, rank: Hashable) -> List[FluidFlow]:
         """Live flows that depend on *rank* (declared via
-        :attr:`FluidFlow.ranks`)."""
-        return [f for f in self._flows if rank in f.ranks]
+        :attr:`FluidFlow.ranks`), in insertion order."""
+        return [f for f in self._flows
+                if f is not None and rank in f.ranks]
 
     def interrupt_involving(self, rank: Hashable,
                             reason: str = "fault") -> float:
@@ -169,15 +222,57 @@ class FlowSet:
         return wasted
 
     def __len__(self) -> int:
-        return len(self._flows)
+        return len(self._pos)
 
     def __iter__(self):
-        return iter(self._flows)
+        # Snapshot so callers may remove/interrupt while iterating.
+        return iter(self._live_list())
 
     def by_name(self, name: str) -> List[FluidFlow]:
-        return [f for f in self._flows if f.name == name]
+        return [f for f in self._flows
+                if f is not None and f.name == name]
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _solve_payload(live: List[FluidFlow], rates: List[float],
+                       capacities: Mapping[Hashable, float]
+                       ) -> Dict[str, object]:
+        """The ``bandwidth.solve`` event fields: per-resource
+        utilisation of an allocation — the bandwidth-cap invariant
+        checker audits the maximum."""
+        usage: Dict[Hashable, float] = {}
+        for f, rate in zip(live, rates):
+            for res, coef in f.coefficients.items():
+                usage[res] = usage.get(res, 0.0) + coef * rate
+        max_util, max_util_rank = 0.0, None
+        for res, cap in capacities.items():
+            if cap <= 0:
+                continue
+            util = usage.get(res, 0.0) / cap
+            if util > max_util:
+                max_util, max_util_rank = util, res
+        return {"flows": len(live), "resources": len(capacities),
+                "max_util": max_util, "max_util_rank": max_util_rank}
+
+    def _finish(self, finished: List[FluidFlow], bus) -> None:
+        """Completion processing shared by every advance path: metric,
+        ``flow.finish`` event, span close, ``on_complete`` callback,
+        then removal.  The callback may add or remove other flows —
+        removal below is lenient for exactly that reason."""
+        for f in finished:
+            OBS.metrics.inc("flows.completed")
+            if bus.active:
+                bus.emit("flow.finish", name=f.name,
+                         span_id=(f.span.span_id
+                                  if f.span is not None else None),
+                         nbytes=f.progressed)
+            if f.span is not None:
+                f.span.end(status="finished")
+            if f.on_complete is not None:
+                f.on_complete(f)
+        for f in finished:
+            self._discard(f, strict=False)
+
     def advance(self, dt: float,
                 capacities: Mapping[Hashable, float]) -> Dict[str, float]:
         """Allocate rates for one tick, advance progress, retire
@@ -185,15 +280,28 @@ class FlowSet:
 
         Returns aggregate achieved rate per flow name (bytes/s) — the
         timeline samples Figures 3 and 7 plot.
+
+        The solve's inputs and outputs are snapshotted so subsequent
+        unchanged ticks can go through :meth:`advance_cached` without
+        re-solving.
         """
         if dt <= 0:
             raise ValueError("dt must be positive")
-        live = [f for f in self._flows if not f.done]
+        self._alloc = None
+        flows = self._live_list()
+        live = [f for f in flows if not f.done]
+        if len(live) != len(flows):
+            # Drop flows already done on entry (a driver retired one by
+            # clamping total_bytes) — silently, as the tail filter
+            # always has.
+            for f in flows:
+                if f.done:
+                    self._discard(f, strict=False)
         if not live:
-            self._flows = []
             return {}
-        specs = [FlowSpec(coefficients=f.coefficients,
-                          demand=f.demand_for(dt)) for f in live]
+        demands = [f.demand_for(dt) for f in live]
+        specs = [FlowSpec(coefficients=f.coefficients, demand=d)
+                 for f, d in zip(live, demands)]
         prof = OBS.profiler
         if prof is not None:
             prof.push("bandwidth.max_min_fair")
@@ -207,23 +315,10 @@ class FlowSet:
             if prof is not None:
                 prof.pop()
         bus = OBS.bus
+        payload: Optional[Dict[str, object]] = None
         if bus.active:
-            # Per-resource utilisation of this tick's allocation — the
-            # bandwidth-cap invariant checker audits the maximum.
-            usage: Dict[Hashable, float] = {}
-            for f, rate in zip(live, rates):
-                for res, coef in f.coefficients.items():
-                    usage[res] = usage.get(res, 0.0) + coef * rate
-            max_util, max_util_rank = 0.0, None
-            for res, cap in capacities.items():
-                if cap <= 0:
-                    continue
-                util = usage.get(res, 0.0) / cap
-                if util > max_util:
-                    max_util, max_util_rank = util, res
-            bus.emit("bandwidth.solve", flows=len(live),
-                     resources=len(capacities),
-                     max_util=max_util, max_util_rank=max_util_rank)
+            payload = self._solve_payload(live, rates, capacities)
+            bus.emit("bandwidth.solve", **payload)
 
         achieved: Dict[str, float] = {}
         for f, rate in zip(live, rates):
@@ -232,16 +327,63 @@ class FlowSet:
             achieved[f.name] = achieved.get(f.name, 0.0) + rate
 
         finished = [f for f in live if f.done]
-        for f in finished:
-            OBS.metrics.inc("flows.completed")
-            if bus.active:
-                bus.emit("flow.finish", name=f.name,
-                         span_id=(f.span.span_id
-                                  if f.span is not None else None),
-                         nbytes=f.progressed)
-            if f.span is not None:
-                f.span.end(status="finished")
-            if f.on_complete is not None:
-                f.on_complete(f)
-        self._flows = [f for f in self._flows if not f.done]
+        if finished:
+            self._finish(finished, bus)
+        else:
+            # Nothing completed: the allocation is reusable while the
+            # membership, coefficients, caps, demands and capacities
+            # hold still.  (A completion changes the flow set, so the
+            # next tick must re-solve anyway.)
+            self._alloc = {
+                "generation": self.generation,
+                "dt": dt,
+                "live": live,
+                "coeffs": [f.coefficients for f in live],
+                "caps": [f.rate_cap for f in live],
+                "demands": demands,
+                "rates": rates,
+                "incs": [r * dt for r in rates],
+                "achieved": achieved,
+                "payload": payload,
+                "capacities": capacities,
+            }
         return achieved
+
+    def advance_cached(self, dt: float) -> Optional[Dict[str, float]]:
+        """One tick through the cached allocation, or ``None`` when the
+        cache cannot be proven fresh (then the caller re-solves via
+        :meth:`advance`).
+
+        Soundness, not heuristics: the cached rates are the exact
+        solver output for inputs (coefficient mappings by identity,
+        rate caps, demands bit-for-bit, membership generation) — when
+        all of those compare equal and the caller vouches for
+        unchanged capacities, the solver would return the identical
+        rates, so skipping it cannot change a single sample or trace
+        byte.
+        """
+        a = self._alloc
+        if a is None or a["generation"] != self.generation or dt != a["dt"]:
+            return None
+        live: List[FluidFlow] = a["live"]          # type: ignore[assignment]
+        for f, coeffs, cap, dem in zip(live, a["coeffs"], a["caps"],
+                                       a["demands"]):
+            if (f.coefficients is not coeffs or f.rate_cap != cap
+                    or f.demand_for(dt) != dem):
+                return None
+        bus = OBS.bus
+        if bus.active:
+            payload = a["payload"]
+            if payload is None:
+                payload = self._solve_payload(live, a["rates"],
+                                              a["capacities"])
+                a["payload"] = payload
+            bus.emit("bandwidth.solve", **payload)
+        OBS.metrics.inc("bandwidth.reused")
+        for f, rate, inc in zip(live, a["rates"], a["incs"]):
+            f.last_rate = rate
+            f.progressed += inc
+        finished = [f for f in live if f.done]
+        if finished:
+            self._finish(finished, bus)     # bumps generation
+        return dict(a["achieved"])

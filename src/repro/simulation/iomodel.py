@@ -13,17 +13,47 @@ which becomes the client flow's per-server coefficients.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Tuple
+import math
+import os
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.obs.runtime import OBS
 from repro.simulation.flows import FlowSet
 
-__all__ = ["IOModel", "replica_load_fractions",
+__all__ = ["IOModel", "batching_enabled", "replica_load_fractions",
            "replica_load_fractions_from_matrix", "client_coefficients"]
 
 CapacityFn = Callable[[], Mapping[Hashable, float]]
+
+#: Upper bound on ticks folded into one vectorised batch — bounds the
+#: (flows × horizon) progress matrix a batch materialises.
+_BATCH_MAX_TICKS = 16384
+
+
+def batching_enabled() -> bool:
+    """Whether allocation reuse / horizon batching is on, per the
+    ``REPRO_BATCH_TICKS`` env switch (default on; ``0`` / ``off`` /
+    ``false`` / ``no`` restore the solve-every-tick behaviour).  Read
+    per call so tests can flip it without re-importing.
+
+    Batching never changes results — same-seed runs produce
+    byte-identical traces and samples with it on or off (pinned by
+    ``tests/simulation/test_batching.py``); the switch exists for A/B
+    timing and as an escape hatch.
+    """
+    val = os.environ.get("REPRO_BATCH_TICKS", "1").strip().lower()
+    return val not in ("0", "off", "false", "no")
 
 
 def replica_load_fractions(
@@ -64,13 +94,12 @@ def replica_load_fractions_from_matrix(servers: np.ndarray
     if total == 0:
         raise ValueError("probe produced no placements")
     counts = np.bincount(valid)
-    order: List[int] = []
-    seen: set = set()
-    for s in flat.tolist():   # first-encounter order, as the scalar loop
-        if s >= 0 and s not in seen:
-            seen.add(s)
-            order.append(s)
-    return {s: int(counts[s]) / total for s in order}
+    # First-encounter key order, as the scalar probe loop produces:
+    # unique server ids sorted by their first index in the (filtered,
+    # order-preserving) valid array.
+    uniq, first = np.unique(valid, return_index=True)
+    order = uniq[np.argsort(first, kind="stable")]
+    return {int(s): int(counts[s]) / total for s in order}
 
 
 def client_coefficients(
@@ -102,18 +131,49 @@ class IOModel:
         immediately.
     dt:
         Tick length in seconds.
+    capacity_token:
+        Optional zero-arg callable returning a cheap generation token
+        that changes whenever ``capacity_fn``'s result would (e.g. the
+        cluster's placement version, or ``(version, injector
+        generation)`` under faults).  With a token, unchanged ticks
+        skip the capacity-dict rebuild entirely; without one the model
+        falls back to rebuilding and comparing the dict — still far
+        cheaper than a solve.  An inaccurate token that *over*-reports
+        change only costs speed; one that under-reports change breaks
+        correctness, so only wire tokens that cover every capacity
+        input.
     """
 
-    def __init__(self, capacity_fn: CapacityFn, dt: float = 1.0) -> None:
+    def __init__(self, capacity_fn: CapacityFn, dt: float = 1.0,
+                 capacity_token: Optional[Callable[[], object]] = None
+                 ) -> None:
         if dt <= 0:
             raise ValueError("dt must be positive")
         self.capacity_fn = capacity_fn
         self.dt = dt
+        self.capacity_token = capacity_token
         self.flows = FlowSet()
         #: (time, {flow name: achieved bytes/s}) per tick.
         self.samples: List[Tuple[float, Dict[str, float]]] = []
+        #: Capacities (and token) observed at the last full solve —
+        #: the reuse paths compare against these.
+        self._caps: Optional[Dict[Hashable, float]] = None
+        self._caps_token: object = None
 
     # ------------------------------------------------------------------
+    def _caps_unchanged(self) -> Tuple[bool, Optional[Dict[Hashable, float]]]:
+        """(capacities provably unchanged since the last solve, the
+        freshly built dict if this check had to build one)."""
+        if self._caps is None:
+            return False, None
+        if self.capacity_token is not None:
+            return self.capacity_token() == self._caps_token, None
+        caps = dict(self.capacity_fn())
+        # Ordered compare: the solvers' outputs are insensitive to
+        # capacity-dict ordering in value, but the solve payload's
+        # tie-breaks are not — demand the exact same dict.
+        return (list(caps.items()) == list(self._caps.items())), caps
+
     def step(self, now: float) -> Dict[str, float]:
         """Advance one tick ending at *now* and record the sample."""
         bus = OBS.bus
@@ -123,8 +183,22 @@ class IOModel:
             prof.advance_sim(now)
             prof.push("io.step")
         try:
-            capacities = dict(self.capacity_fn())
-            achieved = self.flows.advance(self.dt, capacities)
+            achieved: Optional[Dict[str, float]] = None
+            caps: Optional[Dict[Hashable, float]] = None
+            if batching_enabled():
+                unchanged, caps = self._caps_unchanged()
+                if unchanged:
+                    if len(self.flows) == 0:
+                        achieved = {}
+                    else:
+                        achieved = self.flows.advance_cached(self.dt)
+            if achieved is None:
+                if caps is None:
+                    caps = dict(self.capacity_fn())
+                self._caps = caps
+                if self.capacity_token is not None:
+                    self._caps_token = self.capacity_token()
+                achieved = self.flows.advance(self.dt, caps)
         finally:
             if prof is not None:
                 prof.pop()
@@ -133,21 +207,130 @@ class IOModel:
         OBS.metrics.gauge("io.live_flows").set(len(self.flows))
         if bus.active:
             bus.emit("engine.tick", t=now, dt=self.dt,
-                     flows=len(self.flows), servers=len(capacities))
+                     flows=len(self.flows), servers=len(self._caps))
         return achieved
 
     def run(self, duration: float, start: float = 0.0,
             on_tick: Callable[[float], None] | None = None) -> None:
         """Convenience loop: tick from *start* for *duration* seconds.
         *on_tick(t)* fires before each tick — drivers mutate flows and
-        memberships there."""
+        memberships there.
+
+        Without an *on_tick* (nothing can change between ticks), runs
+        of unchanged ticks are folded into vectorised batches — see
+        :meth:`_run_batch`."""
         t = start
         end = start + duration
+        batchable = on_tick is None
         while t < end - 1e-9:
+            if batchable:
+                nt = self._run_batch(t, end)
+                if nt is not None:
+                    t = nt
+                    continue
             t = min(t + self.dt, end)
             if on_tick is not None:
                 on_tick(t)
             self.step(t)
+
+    def _run_batch(self, t: float, end: float) -> Optional[float]:
+        """Advance as many provably-unchanged ticks as possible in one
+        vectorised step; returns the new clock, or ``None`` to fall
+        back to per-tick stepping.
+
+        The horizon is the longest run of ticks over which the cached
+        allocation stays exactly valid: membership generation, flow
+        coefficients/caps, and capacities unchanged, every per-tick
+        demand bit-equal to the solve's, and no finite flow completing
+        before the batch's *final* tick (a completion is handled at
+        the last tick, exactly where per-tick stepping would).
+        Progress and tick labels are computed with ``np.cumsum`` —
+        serial addition chains, so every per-flow ``progressed`` and
+        every sample timestamp is bit-identical to the per-tick loop.
+
+        Requires an inactive event bus and no profiler: both demand
+        per-tick emission, which per-tick stepping provides (the
+        cached :meth:`~repro.simulation.flows.FlowSet.advance_cached`
+        path still skips the solver there).
+        """
+        if not batching_enabled():
+            return None
+        bus = OBS.bus
+        if bus.active or OBS.profiler is not None or OBS.hot:
+            return None
+        a = self.flows._alloc
+        if a is None:
+            return None
+        dt = self.dt
+        if a["generation"] != self.flows.generation or a["dt"] != dt:
+            return None
+        unchanged, _ = self._caps_unchanged()
+        if not unchanged:
+            return None
+        live = a["live"]
+        for f, coeffs, cap in zip(live, a["coeffs"], a["caps"]):
+            if f.coefficients is not coeffs or f.rate_cap != cap:
+                return None
+
+        # Tick labels by the loop's own recurrence t = min(t+dt, end):
+        # the clamp can only bind on the final executed tick, so the
+        # plain cumsum chain is the exact serial sequence.
+        n = min(_BATCH_MAX_TICKS,
+                max(1, int(math.ceil((end - t) / dt)) + 1))
+        chain = np.empty(n + 1, dtype=np.float64)
+        chain[0] = t
+        chain[1:] = dt
+        labels = np.minimum(np.cumsum(chain), end)
+        # Tick j executes iff the clock *before* it is < end - 1e-9.
+        h = int(np.count_nonzero(labels[:-1] < end - 1e-9))
+        if h == 0:
+            return None
+
+        # Per-tick progress chains: ps[i, j] = flow i's progressed
+        # after j ticks, bit-identical to j serial `p += rate*dt`s.
+        inc = np.asarray(a["incs"], dtype=np.float64)
+        mat = np.empty((len(live), h + 1), dtype=np.float64)
+        mat[:, 0] = [f.progressed for f in live]
+        mat[:, 1:] = inc[:, None]
+        ps = np.cumsum(mat, axis=1)
+
+        total = np.array([math.inf if f.total_bytes is None
+                          else f.total_bytes for f in live])
+        rate_cap = np.asarray(a["caps"], dtype=np.float64)
+        dem = np.asarray(a["demands"], dtype=np.float64)
+        # Demand each tick would compute (from the pre-tick progress)
+        # must equal the solve's; the first mismatching tick needs a
+        # fresh solve and bounds the horizon.
+        d_mat = np.minimum(rate_cap[:, None],
+                           np.maximum(0.0, total[:, None] - ps[:, :h]) / dt)
+        valid = np.all(d_mat == dem[:, None], axis=0)
+        bad = np.flatnonzero(~valid)
+        if bad.size:
+            h = int(bad[0])     # ticks 1..bad[0] are valid
+        # A completion ends the batch at that tick.
+        done_tick = total[:, None] - ps[:, 1:h + 1] <= 1e-6
+        done_any = np.flatnonzero(np.any(done_tick, axis=0))
+        if done_any.size:
+            h = int(done_any[0]) + 1
+        if h < 2:
+            return None         # per-tick stepping handles it as fast
+
+        rates = a["rates"]
+        for i, f in enumerate(live):
+            f.last_rate = rates[i]
+            f.progressed = float(ps[i, h])
+        achieved = a["achieved"]
+        for j in range(1, h + 1):
+            self.samples.append((float(labels[j]), dict(achieved)))
+        OBS.metrics.inc("engine.ticks", h)
+        OBS.metrics.inc("bandwidth.reused", h)
+        now = float(labels[h])
+        bus.clock = now
+        finished = [f for f in live if f.done]
+        if finished:
+            self.flows._finish(finished, bus)
+        OBS.metrics.gauge("io.live_flows").set(len(self.flows))
+        return now
 
     # ------------------------------------------------------------------
     def series(self, name: str) -> Tuple[List[float], List[float]]:

@@ -1,0 +1,218 @@
+"""Batching and allocation reuse must never change a result.
+
+Two layers of pinning:
+
+* sha256 trace identity — same-seed experiment runs produce the
+  byte-identical event stream with batching on or off and with either
+  solver backend (the traces carry every per-tick ``bandwidth.solve``
+  / ``engine.tick`` event and every rate, so this is the strongest
+  cheap check we have);
+* sample identity — ``IOModel.run``'s vectorised horizon batches
+  reproduce the per-tick loop's ``samples`` exactly (timestamps and
+  rates bit-for-bit), and every cache-invalidation edge (capacity,
+  coefficient, rate-cap, membership changes, completions) re-solves.
+"""
+
+import hashlib
+import io
+
+import pytest
+
+from repro.experiments.three_phase import run_three_phase
+from repro.faults.harness import run_chaos
+from repro.obs.runtime import OBS
+from repro.obs.trace import JSONLSink
+from repro.simulation.flows import FluidFlow
+from repro.simulation.iomodel import IOModel, batching_enabled
+
+
+def traced_digest(fn):
+    OBS.reset()
+    buf = io.StringIO()
+    sink = JSONLSink(buf)
+    OBS.bus.attach(sink)
+    try:
+        fn()
+    finally:
+        OBS.bus.detach(sink)
+        OBS.reset()
+    return hashlib.sha256(buf.getvalue().encode()).hexdigest()
+
+
+class TestTraceIdentity:
+    def test_fig7_batching_and_solver_invariant(self, monkeypatch):
+        def replay():
+            run_three_phase(mode="selective", scale=0.02)
+
+        monkeypatch.delenv("REPRO_SOLVER", raising=False)
+        monkeypatch.delenv("REPRO_BATCH_TICKS", raising=False)
+        base = traced_digest(replay)
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "0")
+        assert traced_digest(replay) == base
+        monkeypatch.setenv("REPRO_SOLVER", "columnar")
+        assert traced_digest(replay) == base
+        monkeypatch.delenv("REPRO_BATCH_TICKS")
+        assert traced_digest(replay) == base
+
+    def test_chaos_batching_invariant(self, monkeypatch):
+        def replay():
+            run_chaos(seed=7, scale=0.1, check=False)
+
+        monkeypatch.delenv("REPRO_SOLVER", raising=False)
+        monkeypatch.delenv("REPRO_BATCH_TICKS", raising=False)
+        base = traced_digest(replay)
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "0")
+        assert traced_digest(replay) == base
+        monkeypatch.setenv("REPRO_SOLVER", "columnar")
+        monkeypatch.delenv("REPRO_BATCH_TICKS")
+        assert traced_digest(replay) == base
+
+
+def run_samples(build, duration, monkeypatch, batch):
+    """Run a scenario and return (samples, final flow progress)."""
+    monkeypatch.setenv("REPRO_BATCH_TICKS", "1" if batch else "0")
+    io_model, flows = build()
+    io_model.run(duration)
+    return io_model.samples, [(f.name, f.progressed) for f in flows]
+
+
+class TestRunBatchIdentity:
+    def scenario_mixed(self):
+        io_model = IOModel(lambda: {"a": 100.0, "b": 80.0}, dt=1.0)
+        stream = io_model.flows.add(
+            FluidFlow("client", {"a": 1.0, "b": 0.5}, rate_cap=60.0))
+        finite = io_model.flows.add(
+            FluidFlow("migration", {"a": 0.5, "b": 1.0},
+                      total_bytes=2_000.0, rate_cap=45.0))
+        return io_model, [stream, finite]
+
+    def test_samples_bitwise_identical(self, monkeypatch):
+        batched, prog_b = run_samples(self.scenario_mixed, 300.0,
+                                      monkeypatch, batch=True)
+        pertick, prog_p = run_samples(self.scenario_mixed, 300.0,
+                                      monkeypatch, batch=False)
+        assert len(batched) == len(pertick) == 300
+        for (tb, sb), (tp, sp) in zip(batched, pertick):
+            assert tb == tp
+            assert sb == sp
+        assert prog_b == prog_p
+
+    def test_completion_lands_on_same_tick(self, monkeypatch):
+        completions = []
+
+        def build():
+            io_model = IOModel(lambda: {"a": 50.0}, dt=1.0)
+            f = io_model.flows.add(
+                FluidFlow("m", {"a": 1.0}, total_bytes=333.0, rate_cap=10.0,
+                          on_complete=lambda fl: completions.append(
+                              len(io_model.samples))))
+            return io_model, [f]
+
+        batched, _ = run_samples(build, 100.0, monkeypatch, batch=True)
+        tick_batched = completions.pop()
+        pertick, _ = run_samples(build, 100.0, monkeypatch, batch=False)
+        tick_pertick = completions.pop()
+        assert tick_batched == tick_pertick
+        assert batched == pertick
+
+    def test_fractional_final_tick(self, monkeypatch):
+        def build():
+            io_model = IOModel(lambda: {"a": 40.0}, dt=1.0)
+            f = io_model.flows.add(FluidFlow("c", {"a": 1.0}, rate_cap=30.0))
+            return io_model, [f]
+
+        batched, prog_b = run_samples(build, 10.5, monkeypatch, batch=True)
+        pertick, prog_p = run_samples(build, 10.5, monkeypatch, batch=False)
+        assert batched == pertick
+        assert prog_b == prog_p
+
+
+class TestCacheInvalidation:
+    def test_capacity_change_via_token(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "1")
+        state = {"cap": 100.0, "version": 0}
+        io_model = IOModel(lambda: {"a": state["cap"]}, dt=1.0,
+                           capacity_token=lambda: state["version"])
+        io_model.flows.add(FluidFlow("c", {"a": 1.0}))
+        io_model.step(1.0)
+        state["cap"] = 40.0
+        state["version"] += 1
+        io_model.step(2.0)
+        _, vals = io_model.series("c")
+        assert vals == [100.0, 40.0]
+
+    def test_capacity_change_via_dict_compare(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "1")
+        state = {"cap": 100.0}
+        io_model = IOModel(lambda: {"a": state["cap"]}, dt=1.0)
+        io_model.flows.add(FluidFlow("c", {"a": 1.0}))
+        io_model.step(1.0)
+        state["cap"] = 40.0
+        io_model.step(2.0)
+        _, vals = io_model.series("c")
+        assert vals == [100.0, 40.0]
+
+    def test_coefficient_change_invalidates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "1")
+        io_model = IOModel(lambda: {"a": 100.0, "b": 100.0}, dt=1.0)
+        f = io_model.flows.add(FluidFlow("c", {"a": 1.0}))
+        io_model.step(1.0)
+        io_model.step(2.0)
+        f.coefficients = {"b": 2.0}      # re-pointed at another disk
+        io_model.step(3.0)
+        _, vals = io_model.series("c")
+        assert vals == [100.0, 100.0, 50.0]
+
+    def test_rate_cap_change_invalidates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "1")
+        io_model = IOModel(lambda: {"a": 100.0}, dt=1.0)
+        f = io_model.flows.add(FluidFlow("c", {"a": 1.0}))
+        io_model.step(1.0)
+        f.rate_cap = 25.0
+        io_model.step(2.0)
+        _, vals = io_model.series("c")
+        assert vals == [100.0, 25.0]
+
+    def test_membership_change_invalidates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "1")
+        io_model = IOModel(lambda: {"a": 100.0}, dt=1.0)
+        io_model.flows.add(FluidFlow("c", {"a": 1.0}))
+        io_model.step(1.0)
+        second = io_model.flows.add(FluidFlow("d", {"a": 1.0}))
+        io_model.step(2.0)
+        io_model.flows.remove(second)
+        io_model.step(3.0)
+        _, vals = io_model.series("c")
+        assert vals == [100.0, 50.0, 100.0]
+
+    def test_retired_by_total_bytes_clamp(self, monkeypatch):
+        # The original-CH driver retires a flow by setting
+        # total_bytes = progressed; the next tick must notice despite
+        # no generation bump (the demand check catches it).
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "1")
+        io_model = IOModel(lambda: {"a": 100.0}, dt=1.0)
+        f = io_model.flows.add(
+            FluidFlow("r", {"a": 1.0}, total_bytes=1e9, rate_cap=10.0))
+        io_model.flows.add(FluidFlow("c", {"a": 1.0}))
+        io_model.step(1.0)
+        io_model.step(2.0)
+        f.total_bytes = f.progressed
+        io_model.step(3.0)
+        assert len(io_model.flows) == 1
+        _, vals = io_model.series("c")
+        assert vals == [90.0, 90.0, 100.0]
+
+
+class TestSwitchParsing:
+    @pytest.mark.parametrize("val", ["0", "off", "false", "no", "OFF"])
+    def test_disabled_values(self, monkeypatch, val):
+        monkeypatch.setenv("REPRO_BATCH_TICKS", val)
+        assert batching_enabled() is False
+
+    @pytest.mark.parametrize("val", [None, "1", "on", "yes"])
+    def test_enabled_values(self, monkeypatch, val):
+        if val is None:
+            monkeypatch.delenv("REPRO_BATCH_TICKS", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_BATCH_TICKS", val)
+        assert batching_enabled() is True

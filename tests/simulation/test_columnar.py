@@ -1,0 +1,149 @@
+"""Bit-for-bit identity of the columnar solver vs the scalar reference.
+
+The contract is exact float equality (never ``approx``): traces hash
+the rates, so the two backends must produce the identical IEEE-754
+doubles on every instance, including the awkward ones (elastic flows,
+zero demands, zero-capacity resources, unknown resources).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.simulation.bandwidth import (
+    FlowSpec,
+    max_min_fair,
+    max_min_fair_scalar,
+    solver_mode,
+)
+from repro.simulation.columnar import (
+    compile_problem,
+    max_min_fair_columnar,
+)
+
+
+def random_instance(rng):
+    """One randomized allocation problem mixing every flow species:
+    elastic / capped / zero-demand, some touching a zero-capacity
+    resource, some an unknown resource."""
+    n_res = rng.randint(1, 12)
+    resources = [f"s{i}" for i in range(n_res)]
+    capacities = {}
+    for r in resources:
+        capacities[r] = 0.0 if rng.random() < 0.12 else rng.uniform(1.0, 200.0)
+    flows = []
+    for _ in range(rng.randint(1, 20)):
+        k = rng.randint(1, min(4, n_res))
+        coeffs = {r: rng.uniform(0.05, 3.0)
+                  for r in rng.sample(resources, k)}
+        if rng.random() < 0.15:
+            coeffs["ghost"] = rng.uniform(0.1, 2.0)   # unknown resource
+        roll = rng.random()
+        if roll < 0.15:
+            demand = math.inf
+        elif roll < 0.25:
+            demand = 0.0
+        else:
+            demand = rng.uniform(0.1, 300.0)
+        flows.append(FlowSpec(coefficients=coeffs, demand=demand))
+    return flows, capacities
+
+
+def assert_bit_identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        # == plus sign-of-zero: full bit equality for non-NaN doubles.
+        assert x == y
+        assert math.copysign(1.0, x) == math.copysign(1.0, y)
+
+
+class TestBitIdentity:
+    def test_property_randomized_instances(self):
+        rng = random.Random(0xC01)
+        for _ in range(300):
+            flows, capacities = random_instance(rng)
+            assert_bit_identical(max_min_fair_scalar(flows, capacities),
+                                 max_min_fair_columnar(flows, capacities))
+
+    def test_large_instance(self):
+        rng = random.Random(7)
+        capacities = {i: rng.uniform(10.0, 100.0) for i in range(1000)}
+        flows = [FlowSpec(coefficients={r: rng.uniform(0.1, 2.0)
+                                        for r in rng.sample(range(1000), 8)},
+                          demand=(math.inf if i % 5 == 0
+                                  else rng.uniform(1.0, 500.0)))
+                 for i in range(60)]
+        assert_bit_identical(max_min_fair_scalar(flows, capacities),
+                             max_min_fair_columnar(flows, capacities))
+
+    def test_empty_flows(self):
+        assert max_min_fair_columnar([], {"s": 10.0}) == []
+
+    def test_no_resources_capped_flow(self):
+        flows = [FlowSpec(coefficients={"ghost": 1.0}, demand=5.0)]
+        assert_bit_identical(max_min_fair_scalar(flows, {}),
+                             max_min_fair_columnar(flows, {}))
+
+
+class TestIdenticalErrors:
+    @pytest.mark.parametrize("flows,capacities", [
+        ([FlowSpec({"s": -1.0}, 1.0)], {"s": 10.0}),
+        ([FlowSpec({"s": 1.0}, -2.0)], {"s": 10.0}),
+        ([FlowSpec({"s": 1.0}, 1.0)], {"s": -5.0}),
+        ([FlowSpec({"ghost": 1.0}, math.inf)], {"s": 10.0}),
+    ])
+    def test_same_exception_and_message(self, flows, capacities):
+        with pytest.raises(ValueError) as scalar_err:
+            max_min_fair_scalar(flows, capacities)
+        with pytest.raises(ValueError) as columnar_err:
+            max_min_fair_columnar(flows, capacities)
+        assert str(scalar_err.value) == str(columnar_err.value)
+
+
+class TestDispatch:
+    def test_default_mode_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER", raising=False)
+        assert solver_mode() == "auto"
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER", "quantum")
+        with pytest.raises(ValueError):
+            solver_mode()
+
+    @pytest.mark.parametrize("mode", ["scalar", "columnar"])
+    def test_forced_modes_agree(self, monkeypatch, mode):
+        rng = random.Random(42)
+        flows, capacities = random_instance(rng)
+        reference = max_min_fair_scalar(flows, capacities)
+        monkeypatch.setenv("REPRO_SOLVER", mode)
+        assert_bit_identical(max_min_fair(flows, capacities), reference)
+
+    def test_auto_cutover_matches_scalar(self, monkeypatch):
+        # Large enough that auto dispatches columnar.
+        monkeypatch.delenv("REPRO_SOLVER", raising=False)
+        rng = random.Random(3)
+        capacities = {i: rng.uniform(10.0, 100.0) for i in range(256)}
+        flows = [FlowSpec({r: 1.0 for r in rng.sample(range(256), 4)},
+                          rng.uniform(1.0, 50.0)) for _ in range(32)]
+        assert_bit_identical(max_min_fair(flows, capacities),
+                             max_min_fair_scalar(flows, capacities))
+
+
+class TestCompile:
+    def test_unknown_resources_dropped(self):
+        flows = [FlowSpec({"a": 1.0, "ghost": 2.0}, 5.0)]
+        problem = compile_problem(flows, {"a": 10.0, "b": 20.0})
+        assert problem.nnz == 1
+        assert problem.n_flows == 1
+        assert problem.n_resources == 2
+        assert problem.resources == ("a", "b")
+
+    def test_flow_major_entry_order(self):
+        flows = [FlowSpec({"b": 1.0, "a": 2.0}, 5.0),
+                 FlowSpec({"a": 3.0}, 1.0)]
+        problem = compile_problem(flows, {"a": 10.0, "b": 20.0})
+        assert problem.flow_idx.tolist() == [0, 0, 1]
+        # Within a flow, entries keep the coefficient dict's order.
+        assert problem.res_idx.tolist() == [1, 0, 0]
+        assert problem.coef.tolist() == [1.0, 2.0, 3.0]

@@ -37,6 +37,60 @@ class TestReentrancy:
         assert sim.now == 11.0
 
 
+class TestPendingCounter:
+    """The O(1) live-event counter must track a naive heap scan
+    through every schedule / cancel / step / clear interleaving."""
+
+    @staticmethod
+    def naive_pending(sim):
+        return sum(1 for ev in sim._heap if not ev.cancelled)
+
+    def test_counter_matches_scan_under_random_ops(self):
+        import random
+        rng = random.Random(0xE17)
+        sim = Simulator()
+        events = []
+        for _ in range(600):
+            op = rng.random()
+            if op < 0.45 or not events:
+                events.append(sim.schedule(rng.uniform(0.0, 10.0),
+                                           lambda: None))
+            elif op < 0.70:
+                rng.choice(events).cancel()
+            elif op < 0.95:
+                sim.step()
+            else:
+                sim.clear()
+            assert sim.pending == self.naive_pending(sim)
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        assert sim.pending == 1
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        ev.cancel()
+        assert sim.pending == 0
+
+    def test_clear_then_schedule(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.clear() == 5
+        assert sim.pending == 0
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending == 1
+
+
 class TestClockDiscipline:
     def test_now_is_event_time_inside_callback(self):
         sim = Simulator()

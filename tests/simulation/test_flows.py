@@ -94,3 +94,87 @@ class TestFlowSet:
         assert fs.by_name("x") == [f]
         fs.remove(f)
         assert len(fs) == 0
+
+
+class TestFlowSetIndex:
+    """The tombstone position index behind O(1) remove/interrupt must
+    preserve deterministic insertion order through storms and
+    compaction."""
+
+    def test_remove_preserves_order(self):
+        fs = FlowSet()
+        flows = [fs.add(FluidFlow(f"f{i}", {"d": 1.0})) for i in range(10)]
+        fs.remove(flows[3])
+        fs.remove(flows[7])
+        expected = [f for i, f in enumerate(flows) if i not in (3, 7)]
+        assert list(fs) == expected
+        assert len(fs) == 8
+
+    def test_interrupt_storm_preserves_order(self):
+        fs = FlowSet()
+        flows = [fs.add(FluidFlow(f"f{i}", {"d": 1.0},
+                                  ranks=frozenset({i % 5})))
+                 for i in range(100)]
+        wasted = fs.interrupt_involving(2)
+        assert wasted == 0.0
+        survivors = [f for f in flows if 2 not in f.ranks]
+        assert list(fs) == survivors
+        assert len(fs) == 80
+
+    def test_compaction_keeps_order_and_index(self):
+        fs = FlowSet()
+        flows = [fs.add(FluidFlow(f"f{i}", {"d": 1.0})) for i in range(100)]
+        # Remove 60 (more than half, above the compaction floor) in a
+        # scattered pattern, forcing at least one compaction.
+        removed = set(range(0, 100, 5)) | set(range(1, 81, 2))
+        for i in sorted(removed):
+            fs.remove(flows[i])
+        survivors = [f for i, f in enumerate(flows) if i not in removed]
+        assert list(fs) == survivors
+        # The index stays consistent after compaction: removal and
+        # re-adding still work.
+        fs.remove(survivors[0])
+        fs.add(survivors[0])
+        assert list(fs) == survivors[1:] + [survivors[0]]
+
+    def test_involving_in_insertion_order(self):
+        fs = FlowSet()
+        a = fs.add(FluidFlow("a", {"d": 1.0}, ranks=frozenset({1, 2})))
+        fs.add(FluidFlow("b", {"d": 1.0}, ranks=frozenset({3})))
+        c = fs.add(FluidFlow("c", {"d": 1.0}, ranks=frozenset({2})))
+        assert fs.involving(2) == [a, c]
+
+    def test_duplicate_add_rejected(self):
+        fs = FlowSet()
+        f = fs.add(FluidFlow("x", {"d": 1.0}))
+        with pytest.raises(ValueError):
+            fs.add(f)
+
+    def test_remove_unknown_rejected(self):
+        fs = FlowSet()
+        with pytest.raises(ValueError):
+            fs.remove(FluidFlow("ghost", {"d": 1.0}))
+
+    def test_generation_bumps_on_membership_changes(self):
+        fs = FlowSet()
+        g0 = fs.generation
+        f = fs.add(FluidFlow("x", {"d": 1.0}))
+        assert fs.generation > g0
+        g1 = fs.generation
+        fs.remove(f)
+        assert fs.generation > g1
+        g2 = fs.generation
+        done = fs.add(FluidFlow("m", {"d": 1.0}, total_bytes=10.0))
+        fs.advance(1.0, {"d": 100.0})     # completes and retires "m"
+        assert done.done
+        assert fs.generation > g2
+
+    def test_iteration_snapshot_allows_mutation(self):
+        fs = FlowSet()
+        flows = [fs.add(FluidFlow(f"f{i}", {"d": 1.0})) for i in range(5)]
+        seen = []
+        for f in fs:
+            seen.append(f)
+            fs.remove(f)
+        assert seen == flows
+        assert len(fs) == 0

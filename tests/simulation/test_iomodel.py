@@ -1,5 +1,6 @@
 """IOModel and the placement→load bridge."""
 
+import numpy as np
 import pytest
 
 from repro.core.elastic import ElasticConsistentHash
@@ -8,7 +9,27 @@ from repro.simulation.iomodel import (
     IOModel,
     client_coefficients,
     replica_load_fractions,
+    replica_load_fractions_from_matrix,
 )
+
+
+def scalar_fractions_from_matrix(servers):
+    """The reference first-encounter probe loop the vectorised
+    implementation must reproduce exactly (values and key order)."""
+    flat = np.asarray(servers).ravel().tolist()
+    counts, order = {}, []
+    total = 0
+    for s in flat:
+        if s < 0:
+            continue
+        if s not in counts:
+            counts[s] = 0
+            order.append(s)
+        counts[s] += 1
+        total += 1
+    if total == 0:
+        raise ValueError("probe produced no placements")
+    return {s: counts[s] / total for s in order}
 
 
 class TestReplicaLoadFractions:
@@ -34,6 +55,40 @@ class TestReplicaLoadFractions:
     def test_empty_probe_rejected(self):
         with pytest.raises(ValueError):
             replica_load_fractions(lambda oid: [], [])
+
+
+class TestReplicaLoadFractionsFromMatrix:
+    def test_matches_scalar_probe_on_real_placement(self, ech10):
+        matrix = ech10.locate_bulk(range(2000)).servers
+        vectorised = replica_load_fractions_from_matrix(matrix)
+        reference = scalar_fractions_from_matrix(matrix)
+        # Equality of values AND first-encounter key order.
+        assert list(vectorised.items()) == list(reference.items())
+
+    def test_matches_probe_function(self, ech10):
+        matrix = ech10.locate_bulk(range(2000)).servers
+        probe = replica_load_fractions(
+            lambda oid: ech10.locate(oid).servers, range(2000))
+        assert replica_load_fractions_from_matrix(matrix) == probe
+
+    def test_randomized_matrices_with_unplaceable_rows(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            shape = (int(rng.integers(1, 400)), int(rng.integers(1, 4)))
+            matrix = rng.integers(-1, 20, size=shape)
+            if (matrix < 0).all():
+                continue
+            vectorised = replica_load_fractions_from_matrix(matrix)
+            reference = scalar_fractions_from_matrix(matrix)
+            assert list(vectorised.items()) == list(reference.items())
+
+    def test_all_unplaceable_rejected(self):
+        with pytest.raises(ValueError):
+            replica_load_fractions_from_matrix(np.full((4, 2), -1))
+
+    def test_keys_are_python_ints(self):
+        fracs = replica_load_fractions_from_matrix(np.array([[0, 1]]))
+        assert all(type(k) is int for k in fracs)
 
 
 class TestClientCoefficients:
