@@ -66,6 +66,7 @@ import numpy as np
 from repro.core.elastic import ElasticConsistentHash
 from repro.core.layout import CapacityPlan, EqualWorkLayout
 from repro.faults import FaultPlan, render_chaos_report, run_chaos
+from repro.kvstore.harness import render_kv_churn_report, run_kv_churn
 from repro.experiments import (
     run_layout_versions,
     run_resize_agility,
@@ -174,6 +175,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "generating it from --seed")
     p.add_argument("--audit-every", type=float, default=10.0,
                    help="seconds between replication audits")
+    _add_obs_flags(p)
+
+    p = sub.add_parser("kvchurn",
+                       help="drive the replicated KV store through "
+                            "membership churn under injected faults "
+                            "with live consistency checking; exit 1 "
+                            "unless the run ends healthy")
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault-plan + workload seed (same seed = "
+                        "byte-identical run)")
+    p.add_argument("--nodes", type=int, default=5)
+    p.add_argument("--replicas", type=int, default=3)
+    p.add_argument("--clients", type=int, default=4,
+                   help="seeded client sessions issuing ops each tick")
+    p.add_argument("--keys", type=int, default=24,
+                   help="keyspace size (split strings/counters/lists)")
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--churn-every", type=float, default=30.0,
+                   help="seconds between propose/commit view changes")
+    p.add_argument("--plan", metavar="PLAN.json", default=None,
+                   help="load the fault plan from JSON instead of "
+                        "generating it from --seed")
+    p.add_argument("--audit-every", type=float, default=10.0,
+                   help="seconds between consistency audits")
     _add_obs_flags(p)
 
     p = sub.add_parser("fig5", help="Figure 5: layout across versions")
@@ -423,6 +448,26 @@ def _cmd_chaos(args):
     return render_chaos_report(result), (0 if result.ok else 1)
 
 
+def _cmd_kvchurn(args):
+    # Returns (report, exit_code): 0 healthy, 1 degraded or violated.
+    plan = None
+    if args.plan:
+        try:
+            plan = FaultPlan.load(args.plan)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro kvchurn: bad --plan file: {exc}")
+    try:
+        result = run_kv_churn(seed=args.seed, nodes=args.nodes,
+                              replicas=args.replicas,
+                              clients=args.clients, keys=args.keys,
+                              duration=args.duration,
+                              churn_every=args.churn_every, plan=plan,
+                              audit_every=args.audit_every)
+    except ValueError as exc:
+        raise SystemExit(f"repro kvchurn: {exc}")
+    return render_kv_churn_report(result), (0 if result.ok else 1)
+
+
 def _cmd_fig5(args) -> str:
     res = run_layout_versions(objects_v1=args.objects_v1,
                               objects_v2=args.objects_v2)
@@ -613,6 +658,7 @@ _COMMANDS = {
     "agility": _cmd_agility,
     "three-phase": _cmd_three_phase,
     "chaos": _cmd_chaos,
+    "kvchurn": _cmd_kvchurn,
     "fig5": _cmd_fig5,
     "trace": _cmd_trace,
     "sweep": _cmd_sweep,

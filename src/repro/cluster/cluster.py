@@ -180,12 +180,14 @@ class ElasticCluster(_ClusterBase):
         placement_mode: str = "primary",
         capacities: Optional[Sequence[Optional[int]]] = None,
         disk_bandwidth: float = 100e6,
+        dirty_table=None,
     ) -> None:
         super().__init__(n, replicas, capacities, disk_bandwidth)
         self.ech = ElasticConsistentHash(n=n, replicas=replicas, B=B, p=p,
                                          chain=chain,
                                          layout_mode=layout_mode,
-                                         placement_mode=placement_mode)
+                                         placement_mode=placement_mode,
+                                         dirty_table=dirty_table)
         self._engine = ReintegrationEngine(
             self.ech,
             object_size=self._object_size,

@@ -19,15 +19,32 @@ routed, the table survives shard-membership changes unharmed:
 :meth:`~repro.kvstore.sharded.ShardedKVStore.add_shard` /
 ``remove_shard`` migrate the remapped lists wholesale and the routed
 accessors simply follow the new ring.
+
+The table is backend-agnostic across the repo's two Redis-like stores:
+the single-copy :class:`~repro.kvstore.sharded.ShardedKVStore` (the
+default) and the fault-tolerant
+:class:`~repro.kvstore.replicated.ReplicatedKVStore` — the chaos
+harness runs it on the latter so crashed shards lose nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.kvstore.sharded import ShardedKVStore
 from repro.obs.runtime import OBS
+
+if TYPE_CHECKING:  # hint-only: avoids a kvstore <-> core import cycle
+    from repro.kvstore.replicated import ReplicatedKVStore
 
 __all__ = ["DirtyEntry", "DirtyTable"]
 
@@ -54,15 +71,17 @@ class DirtyTable:
     Parameters
     ----------
     kv:
-        Backing sharded store; a private 4-shard store is created when
-        omitted.
+        Backing Redis-like store — sharded (single-copy) or
+        replicated; a private 4-shard store is created when omitted.
     dedupe:
         When True (default), re-inserting an ``(oid, version)`` pair
         that is already present is a no-op — re-writing an object in
         the same epoch does not need a second re-integration pass.
     """
 
-    def __init__(self, kv: Optional[ShardedKVStore] = None,
+    def __init__(self,
+                 kv: Optional[Union[ShardedKVStore,
+                                    "ReplicatedKVStore"]] = None,
                  dedupe: bool = True) -> None:
         self._kv = kv if kv is not None else ShardedKVStore(
             [f"shard-{i}" for i in range(4)])
@@ -80,11 +99,11 @@ class DirtyTable:
         return f"{_KEY_PREFIX}{oid}"
 
     def _oid_keys(self) -> Iterator[str]:
-        """Every per-OID list key, across all shards."""
-        for sid in self._kv.shard_ids:
-            for key in self._kv.shard(sid).keys():
-                if key.startswith(_KEY_PREFIX):
-                    yield key
+        """Every per-OID list key, via the backend's whole-keyspace
+        fan-out (deterministically ordered on both backends)."""
+        for key in self._kv.keys():
+            if key.startswith(_KEY_PREFIX):
+                yield key
 
     # ------------------------------------------------------------------
     def insert(self, oid: int, version: int) -> bool:

@@ -32,9 +32,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import CrashRecoveryWork, ElasticCluster
+from repro.core.dirty_table import DirtyTable
 from repro.faults.injector import FaultAction, FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
+from repro.kvstore.replicated import ReplicatedKVStore
 from repro.faults.transfers import (
     PlannedTransfer,
     TransferJob,
@@ -136,11 +138,21 @@ def run_chaos(
     plan.check_ranks(n)
 
     phases = three_phase_workload(scale=scale, phase2_rate=phase2_rate)
-    cluster = ElasticCluster(n, replicas, disk_bandwidth=disk_bw,
-                             layout_mode="uniform",
-                             placement_mode="original")
     sim = Simulator()
     injector = FaultInjector(plan)
+    # The dirty table rides the replicated KV across ALL ranks (not
+    # just the always-on primaries): a crashed rank takes its metadata
+    # shard down with it, and the quorum + anti-entropy machinery — not
+    # single-copy luck — is what keeps the table intact.  Degrade mode
+    # keeps the metadata path available through partitions; the kv.*
+    # checkers watch what that costs.
+    dirty_store = ReplicatedKVStore(
+        list(range(1, n + 1)), replicas=min(3, n),
+        link_blocked=injector.link_blocked, on_no_quorum="degrade")
+    cluster = ElasticCluster(n, replicas, disk_bandwidth=disk_bw,
+                             layout_mode="uniform",
+                             placement_mode="original",
+                             dirty_table=DirtyTable(dirty_store))
     policy = RetryPolicy(seed=seed if seed is not None else 0)
     oid_counter = itertools.count(1)
 
@@ -313,6 +325,7 @@ def run_chaos(
             sim.schedule(dt, attempt_repair, rank)
             return
         cluster.repair_server(rank)
+        dirty_store.repair_node(rank)   # re-replicates its kv shard
         state["crashed"].discard(rank)
         target = min(state["desired"], n - len(state["crashed"]))
         if target != cluster.num_active:
@@ -327,6 +340,7 @@ def run_chaos(
             if rank in state["crashed"]:
                 return
             manager.on_crash(rank)
+            dirty_store.crash_node(rank)   # its kv shard dies with it
             work = cluster.crash_server(rank)
             state["crashed"].add(rank)
             refresh_client_coefficients()
@@ -362,6 +376,9 @@ def run_chaos(
                          under_replicated=audit["under_replicated"],
                          dirty=rec["dirty"],
                          quarantined=rec["quarantined"])
+        # The metadata substrate gets the same scrutiny as the data
+        # plane: its audit feeds the kv-* checkers (emits kv.audit).
+        rec["kv"] = dirty_store.audit(label)
 
     # ------------------------------------------------------------------
     # main loop
@@ -428,6 +445,7 @@ def run_chaos(
             if manager.idle and len(io.flows) == 0:
                 maybe_submit_reintegration(now)
 
+        dirty_store.anti_entropy()     # settle any repair debt left
         emit_audit(now, label="final")
         run_span.end(status="completed")
     except BaseException:

@@ -1,5 +1,6 @@
 """In-memory key-value store modelled on Redis, plus a hash-sharded
-distributed wrapper.
+distributed wrapper and an R-way replicated, membership-versioned
+service.
 
 The paper (§IV) keeps the dirty table in Redis as a LIST, manipulated
 with RPUSH / LPOP / LRANGE, and notes the table "is maintained in a
@@ -8,10 +9,49 @@ storage usage and the lookup load" (§III-E-2).  :class:`KVStore`
 reproduces the command surface the paper uses (and the handful of
 adjacent commands the tests exercise); :class:`ShardedKVStore` spreads
 keys over several stores with consistent hashing, as the deployment
-described in the paper would.
+described in the paper would; :class:`ReplicatedKVStore` adds what a
+real deployment cannot live without — quorum replication over
+ring-successor replica sets, epoch-numbered view changes, and
+anti-entropy repair — so the metadata survives the same faults
+:mod:`repro.faults` injects everywhere else.  The churn harness
+(:mod:`repro.kvstore.harness`) drives it through membership churn
+under injected faults with the online consistency checkers attached.
 """
 
 from repro.kvstore.store import KVStore, WrongTypeError
 from repro.kvstore.sharded import ShardedKVStore
+from repro.kvstore.replicated import (
+    NoQuorumError,
+    ReplicatedKVStore,
+    Session,
+    StaleSessionError,
+    View,
+)
 
-__all__ = ["KVStore", "WrongTypeError", "ShardedKVStore"]
+#: Harness exports resolved lazily (PEP 562): the harness pulls in
+#: repro.faults -> repro.cluster -> repro.core, and repro.core imports
+#: this package for the dirty table's backend — an eager import here
+#: would close that cycle.
+_HARNESS_EXPORTS = ("KVChurnResult", "run_kv_churn",
+                    "render_kv_churn_report")
+
+
+def __getattr__(name):
+    if name in _HARNESS_EXPORTS:
+        from repro.kvstore import harness
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "KVStore",
+    "WrongTypeError",
+    "ShardedKVStore",
+    "ReplicatedKVStore",
+    "NoQuorumError",
+    "StaleSessionError",
+    "Session",
+    "View",
+    "KVChurnResult",
+    "run_kv_churn",
+    "render_kv_churn_report",
+]

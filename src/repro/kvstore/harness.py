@@ -1,0 +1,510 @@
+"""Black-box scenario harness for the replicated KV store.
+
+Two layers, both deterministic:
+
+* **scenario suites** — CSE138-style black-box checks
+  (:func:`scenario_kvs`, :func:`scenario_view_change`,
+  :func:`scenario_sharding`, collected in :data:`SCENARIOS`): each
+  drives a fresh :class:`~repro.kvstore.replicated.ReplicatedKVStore`
+  through one behavioural contract (basic kv semantics, two-step view
+  changes, minimal-remap resharding) purely through the public API and
+  returns a summary dict;
+* **the churn run** — :func:`run_kv_churn`: a seeded client
+  population hammers the store through live membership churn
+  (``propose_view``/``commit_view`` every ``churn_every`` seconds)
+  while a :class:`~repro.faults.injector.FaultInjector` crashes nodes
+  and drops links per a :class:`~repro.faults.plan.FaultPlan`, failed
+  writes retry under a :class:`~repro.faults.retry.RetryPolicy` until
+  acked or quarantined, and the online consistency checkers
+  (:mod:`repro.obs.invariants`) watch the ``kv.*`` event stream live.
+
+All randomness flows from the seed through one
+``numpy.random.Generator`` plus the plan generator, so a same-seed run
+emits a byte-identical trace — the property the CI ``kv-churn-smoke``
+job asserts with ``sha256sum``.  ``python -m repro kvchurn`` renders
+the result via :func:`render_kv_churn_report` and exits 1 unless
+:attr:`KVChurnResult.ok`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.injector import FaultAction, FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.kvstore.replicated import (
+    NoQuorumError,
+    ReplicatedKVStore,
+    StaleSessionError,
+)
+from repro.obs.invariants import CheckerSink, InvariantSuite, default_checkers
+from repro.obs.runtime import OBS
+from repro.simulation.engine import Simulator
+
+__all__ = [
+    "KVChurnResult",
+    "run_kv_churn",
+    "render_kv_churn_report",
+    "scenario_kvs",
+    "scenario_view_change",
+    "scenario_sharding",
+    "SCENARIOS",
+    "run_scenarios",
+]
+
+
+# ----------------------------------------------------------------------
+# scenario suites (black-box, public API only)
+# ----------------------------------------------------------------------
+def scenario_kvs(seed: int = 0) -> Dict[str, object]:
+    """Basic kv semantics through the quorum path: strings, counters,
+    Redis lists, deletes, and one client's read-your-writes."""
+    kv = ReplicatedKVStore([1, 2, 3, 4, 5], replicas=3)
+    kv.set("greeting", "hello", client="alice")
+    assert kv.get("greeting", client="alice") == "hello"
+    kv.set("greeting", "world", client="alice")
+    assert kv.get("greeting", client="alice") == "world"
+    assert kv.incr("hits", client="alice") == 1
+    assert kv.incr("hits", 9, client="alice") == 10
+    kv.rpush("queue", "a", "b", client="bob")
+    kv.lpush("queue", "z", client="bob")
+    assert kv.lrange("queue", 0, -1, client="bob") == ["z", "a", "b"]
+    assert kv.lpop("queue", client="bob") == "z"
+    assert kv.rpop("queue", client="bob") == "b"
+    assert kv.llen("queue", client="bob") == 1
+    assert kv.delete("greeting", client="alice") is True
+    assert kv.get("greeting", client="alice") is None
+    assert kv.exists("greeting") is False
+    assert kv.keys() == ["hits", "queue"]
+    audit = kv.audit("scenario-kvs")
+    assert audit["lost_acked"] == 0 and audit["under_replicated"] == 0
+    return {"name": "kvs", "ok": True, "keys": kv.dbsize(),
+            "writes_acked": kv.stats["writes_acked"]}
+
+
+def scenario_view_change(seed: int = 0) -> Dict[str, object]:
+    """Two-step view changes: grow, then shrink, the membership; data
+    written under the old view stays readable under the new one, and
+    every committed epoch strictly increases."""
+    kv = ReplicatedKVStore([1, 2, 3], replicas=2)
+    epochs = [kv.epoch]
+    for i in range(8):
+        kv.set(f"pre:{i}", i, client="writer")
+    staged = kv.propose_view([1, 2, 3, 4])
+    assert staged == kv.epoch + 1          # staged, not yet visible
+    assert kv.members == (1, 2, 3)
+    epochs.append(kv.commit_view())
+    assert kv.members == (1, 2, 3, 4)
+    for i in range(8):
+        assert kv.get(f"pre:{i}", client="writer") == i
+    epochs.append(kv.change_view([1, 2, 4]))
+    for i in range(8):
+        assert kv.get(f"pre:{i}", client="writer") == i
+    assert epochs == sorted(set(epochs))   # strictly increasing
+    audit = kv.audit("scenario-view-change")
+    assert audit["lost_acked"] == 0 and audit["under_replicated"] == 0
+    return {"name": "view-change", "ok": True, "epochs": epochs}
+
+
+def scenario_sharding(seed: int = 0) -> Dict[str, object]:
+    """The consistent-hash contract applied to replica sets: adding
+    one node to an 8-node view must remap only a minority of keys'
+    replica sets (the ring moves ~1/n of the ownership), and every key
+    stays readable across the change."""
+    members = list(range(1, 9))
+    kv = ReplicatedKVStore(members, replicas=3)
+    keyset = [f"obj:{i:04d}" for i in range(200)]
+    for i, key in enumerate(keyset):
+        kv.set(key, i, client="loader")
+    before = {key: tuple(kv.replica_set(key)) for key in keyset}
+    kv.change_view(members + [9])
+    moved = sum(1 for key in keyset
+                if tuple(kv.replica_set(key)) != before[key])
+    # 1 new node among 9 owns ~1/9 of the ring; with R=3 a key moves
+    # whenever any of its 3 successors changed, so expect ~3/9 — far
+    # below the ~100% a mod-N scheme would reshuffle.
+    assert moved < len(keyset) * 0.6, f"remapped {moved}/{len(keyset)}"
+    for i, key in enumerate(keyset):
+        assert kv.get(key, client="loader") == i
+    audit = kv.audit("scenario-sharding")
+    assert audit["lost_acked"] == 0 and audit["under_replicated"] == 0
+    return {"name": "sharding", "ok": True, "moved": moved,
+            "keys": len(keyset)}
+
+
+#: name -> scenario callable, each ``f(seed) -> summary dict``.
+SCENARIOS = {
+    "kvs": scenario_kvs,
+    "view-change": scenario_view_change,
+    "sharding": scenario_sharding,
+}
+
+
+def run_scenarios(seed: int = 0) -> List[Dict[str, object]]:
+    """Run every scenario suite; raises on the first contract breach."""
+    return [fn(seed) for _name, fn in sorted(SCENARIOS.items())]
+
+
+# ----------------------------------------------------------------------
+# the churn run
+# ----------------------------------------------------------------------
+@dataclass
+class KVChurnResult:
+    """Everything one kv-churn run observed, for the report and tests."""
+
+    seed: Optional[int]
+    nodes: int
+    replicas: int
+    clients: int
+    duration: float
+    final_epoch: int = 0
+    views_committed: int = 0
+    #: Injected actions in firing order: ``{t, kind, rank, peer}``.
+    faults: List[Dict[str, object]] = field(default_factory=list)
+    #: Store-level op counters (acked/degraded/failed/...).
+    store_stats: Dict[str, int] = field(default_factory=dict)
+    ops_issued: int = 0
+    retried_writes: int = 0
+    quarantined_writes: int = 0
+    unavailable_reads: int = 0
+    audits: List[Dict[str, object]] = field(default_factory=list)
+    final_audit: Dict[str, object] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+    checkers: int = 0
+    events_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Did the run end healthy: no invariant violations, no acked
+        write lost, replication factor restored, and no client write
+        quarantined (every write eventually acked)?"""
+        return (not self.violations
+                and self.quarantined_writes == 0
+                and int(self.final_audit.get("lost_acked", 1)) == 0
+                and int(self.final_audit.get("under_replicated", 1)) == 0)
+
+
+def run_kv_churn(
+    seed: int = 7,
+    nodes: int = 5,
+    replicas: int = 3,
+    clients: int = 4,
+    keys: int = 24,
+    duration: float = 120.0,
+    dt: float = 1.0,
+    churn_every: float = 30.0,
+    plan: Optional[FaultPlan] = None,
+    audit_every: float = 10.0,
+    check: bool = True,
+) -> KVChurnResult:
+    """Drive a seeded client population through membership churn under
+    injected faults.
+
+    Node ids are ranks ``1..nodes`` so the fault plan's ranks address
+    them directly.  *plan* defaults to
+    :meth:`FaultPlan.generate(seed, nodes, 0.6 * duration, ...)
+    <repro.faults.plan.FaultPlan.generate>` — one crash with delayed
+    repair plus one link-loss window, both inside the run, so the
+    drain phase always converges.  All randomness lives in the plan
+    and one ``default_rng(seed)`` stream; the run is otherwise a pure
+    function of its parameters, which is what makes same-seed traces
+    byte-identical.
+    """
+    if nodes < replicas:
+        raise ValueError(f"nodes={nodes} cannot hold {replicas} replicas")
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if keys < 3:
+        raise ValueError("keys must be >= 3 (strings, counters, lists)")
+    if plan is None:
+        plan = FaultPlan.generate(seed, n=nodes,
+                                  duration=max(0.6 * duration, 3 * dt),
+                                  crashes=1, slow_disks=0, link_losses=1)
+    plan.check_ranks(nodes)
+
+    sim = Simulator()
+    injector = FaultInjector(plan)
+    policy = RetryPolicy(seed=seed if seed is not None else 0)
+    store = ReplicatedKVStore(list(range(1, nodes + 1)), replicas=replicas,
+                              link_blocked=injector.link_blocked,
+                              on_no_quorum="raise")
+    rng = np.random.default_rng(seed)
+    client_ids = [f"c{i}" for i in range(1, clients + 1)]
+    # Typed keyspace (strings / counters / lists) so the op mix never
+    # trips WrongTypeError.
+    per_kind = max(keys // 3, 1)
+    str_keys = [f"s{i:03d}" for i in range(per_kind)]
+    ctr_keys = [f"n{i:03d}" for i in range(per_kind)]
+    list_keys = [f"q{i:03d}" for i in range(per_kind)]
+
+    counters = {"ops": 0, "retried": 0, "quarantined": 0,
+                "unavailable": 0}
+    audits: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # fault handling: crash wipes a node, repair re-admits it
+    # ------------------------------------------------------------------
+    def handle_fault(action: FaultAction) -> None:
+        if action.kind == "crash":
+            store.crash_node(action.rank)
+        elif action.kind == "repair":
+            store.repair_node(action.rank)
+        # link_loss.* is ambient: the store consults
+        # injector.link_blocked on every replica transfer.
+
+    injector.arm(sim, handle_fault)
+
+    # ------------------------------------------------------------------
+    # client ops with retry-until-acked-or-quarantined
+    # ------------------------------------------------------------------
+    def write_once(client: str, op: str, key: str, value: object,
+                   attempt: int) -> None:
+        try:
+            if op == "set":
+                store.set(key, value, client=client)
+            elif op == "incr":
+                store.incr(key, client=client)
+            elif op == "rpush":
+                store.rpush(key, value, client=client)
+            elif op == "lpop":
+                store.lpop(key, client=client)
+            else:  # delete
+                store.delete(key, client=client)
+        except NoQuorumError:
+            if policy.exhausted(attempt):
+                counters["quarantined"] += 1
+                return
+            counters["retried"] += 1
+            delay = policy.delay(attempt, f"{client}:{key}")
+            sim.schedule_at(sim.now + delay, write_once,
+                            client, op, key, value, attempt + 1)
+
+    def read_once(client: str, key: str, kind: str) -> None:
+        try:
+            if kind == "list":
+                store.lrange(key, 0, -1, client=client)
+            else:
+                store.get(key, client=client)
+        except (NoQuorumError, StaleSessionError):
+            counters["unavailable"] += 1
+
+    def client_tick(tick: int) -> None:
+        for client in client_ids:
+            counters["ops"] += 1
+            roll = float(rng.random())
+            if roll < 0.40:                       # read
+                if rng.random() < 0.5:
+                    read_once(client, str_keys[int(
+                        rng.integers(len(str_keys)))], "string")
+                else:
+                    read_once(client, list_keys[int(
+                        rng.integers(len(list_keys)))], "list")
+            elif roll < 0.65:                     # string write
+                key = str_keys[int(rng.integers(len(str_keys)))]
+                write_once(client, "set", key, f"{client}@{tick}", 1)
+            elif roll < 0.80:                     # counter bump
+                key = ctr_keys[int(rng.integers(len(ctr_keys)))]
+                write_once(client, "incr", key, None, 1)
+            elif roll < 0.92:                     # list append
+                key = list_keys[int(rng.integers(len(list_keys)))]
+                write_once(client, "rpush", key, tick, 1)
+            elif roll < 0.97:                     # list drain
+                key = list_keys[int(rng.integers(len(list_keys)))]
+                write_once(client, "lpop", key, None, 1)
+            else:                                 # delete
+                key = str_keys[int(rng.integers(len(str_keys)))]
+                write_once(client, "delete", key, None, 1)
+
+    # ------------------------------------------------------------------
+    # membership churn: alternately retire and re-admit the top node
+    # ------------------------------------------------------------------
+    churn_state = {"out": False, "staged": False}
+    churn_node = nodes
+
+    def churn_step() -> None:
+        """Propose the next view; the commit lands next tick (the
+        explicit two-step — ops in between still run on the old
+        view)."""
+        if churn_state["staged"]:
+            return
+        members = list(store.members)
+        if churn_state["out"]:
+            members.append(churn_node)
+        else:
+            if len(members) - 1 < replicas:
+                return                 # too small to shrink — grow only
+            members.remove(churn_node)
+        store.propose_view(sorted(members))
+        churn_state["staged"] = True
+        churn_state["out"] = not churn_state["out"]
+
+    def commit_staged() -> None:
+        if churn_state["staged"]:
+            store.commit_view()
+            churn_state["staged"] = False
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    checker_sink: Optional[CheckerSink] = None
+    if check:
+        checker_sink = CheckerSink(InvariantSuite(default_checkers()))
+        OBS.bus.attach(checker_sink)
+    run_span = OBS.spans.begin("kvchurn.run", seed=seed, nodes=nodes,
+                               replicas=replicas, faults=len(plan))
+    now = 0.0
+    next_audit = audit_every
+    next_churn = churn_every
+    tick = 0
+    try:
+        while now < duration:
+            now += dt
+            tick += 1
+            sim.run_until(now)       # faults + write retries fire here
+            if OBS.bus.active:
+                OBS.bus.clock = now
+            commit_staged()
+            client_tick(tick)
+            if now >= next_churn:
+                churn_step()
+                next_churn += churn_every
+            if now >= next_audit:
+                audits.append({"t": now, **store.audit()})
+                next_audit += audit_every
+
+        # Drain: delayed repairs and write retries may still be queued.
+        while sim.pending > 0:
+            now += dt
+            sim.run_until(now)
+            if OBS.bus.active:
+                OBS.bus.clock = now
+        commit_staged()
+        store.anti_entropy()
+        audits.append({"t": now, **store.audit("final")})
+        run_span.end(status="completed")
+    except BaseException:
+        run_span.end(status="failed")
+        raise
+    finally:
+        if checker_sink is not None:
+            OBS.bus.detach(checker_sink)
+
+    violations: List[str] = []
+    checkers = events_seen = 0
+    if checker_sink is not None:
+        violations = [v.describe() for v in checker_sink.finish()]
+        checkers = len(checker_sink.suite.checkers)
+        events_seen = checker_sink.suite.events_seen
+
+    return KVChurnResult(
+        seed=plan.seed,
+        nodes=nodes,
+        replicas=replicas,
+        clients=clients,
+        duration=now,
+        final_epoch=store.epoch,
+        views_committed=store.stats["views_committed"],
+        faults=[{"t": t, "kind": a.kind, "rank": a.rank, "peer": a.peer}
+                for t, a in injector.applied],
+        store_stats=dict(store.stats),
+        ops_issued=counters["ops"],
+        retried_writes=counters["retried"],
+        quarantined_writes=counters["quarantined"],
+        unavailable_reads=counters["unavailable"],
+        audits=audits,
+        final_audit=audits[-1] if audits else {},
+        violations=violations,
+        checkers=checkers,
+        events_seen=events_seen,
+    )
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def render_kv_churn_report(result: KVChurnResult) -> str:
+    """The run as a markdown kv-churn report."""
+    stats = result.store_stats
+    lines: List[str] = [
+        "# kv churn report",
+        "",
+        f"- seed: {result.seed}",
+        f"- store: nodes={result.nodes}, r={result.replicas}, "
+        f"clients={result.clients}",
+        f"- duration: {result.duration:.0f} s; views committed: "
+        f"{result.views_committed} (final epoch {result.final_epoch})",
+        f"- client ops issued: {result.ops_issued} "
+        f"(retries {result.retried_writes}, "
+        f"quarantined {result.quarantined_writes}, "
+        f"unavailable reads {result.unavailable_reads})",
+        "",
+        "## store counters",
+        "",
+        "| acked writes | degraded writes | failed writes | reads "
+        "| degraded reads | failed reads | repair copies |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+        f"| {stats.get('writes_acked', 0)} "
+        f"| {stats.get('writes_degraded', 0)} "
+        f"| {stats.get('writes_failed', 0)} "
+        f"| {stats.get('reads', 0)} "
+        f"| {stats.get('reads_degraded', 0)} "
+        f"| {stats.get('reads_failed', 0)} "
+        f"| {stats.get('repair_copies', 0)} |",
+        "",
+        "## fault timeline",
+        "",
+    ]
+    if result.faults:
+        lines += ["| t(s) | action | detail |", "| --- | --- | --- |"]
+        for f in result.faults:
+            detail = []
+            if f.get("rank") is not None:
+                detail.append(f"rank {f['rank']}")
+            if f.get("peer") is not None:
+                detail.append(f"peer {f['peer']}")
+            lines.append(f"| {float(f['t']):.1f} | {f['kind']} | "
+                         f"{', '.join(detail)} |")
+    else:
+        lines.append("no faults fired.")
+    lines += [
+        "",
+        "## consistency audits",
+        "",
+        "| t(s) | epoch | keys | lost acked | under-replicated |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    shown = (result.audits if len(result.audits) <= 12
+             else result.audits[:6] + result.audits[-6:])
+    for a in shown:
+        lines.append(f"| {float(a['t']):.0f} | {a['epoch']} | {a['keys']} "
+                     f"| {a['lost_acked']} | {a['under_replicated']} |")
+    if len(result.audits) > 12:
+        lines.append(f"(… {len(result.audits) - 12} audits elided …)")
+    lines += ["", "## invariants", ""]
+    if result.checkers:
+        if result.violations:
+            lines.append(f"{len(result.violations)} violation(s) across "
+                         f"{result.checkers} checkers:")
+            lines += [f"- {v}" for v in result.violations]
+        else:
+            lines.append(f"all {result.checkers} checkers hold over "
+                         f"{result.events_seen} events.")
+    else:
+        lines.append("checkers not attached (check=False).")
+    verdict = "OK" if result.ok else "DEGRADED"
+    lines += [
+        "",
+        "## outcome",
+        "",
+        f"- verdict: **{verdict}**",
+        f"- final audit: "
+        f"lost_acked={result.final_audit.get('lost_acked', '?')}, "
+        f"under_replicated="
+        f"{result.final_audit.get('under_replicated', '?')}",
+        f"- quarantined writes: {result.quarantined_writes}",
+    ]
+    return "\n".join(lines)

@@ -87,9 +87,12 @@ class ShardedKVStore:
         self._ring.add_server(shard_id, weight=self._vnodes_per_shard)
         self._shards[shard_id] = KVStore()
         moved = 0
-        for sid, store in self._shards.items():
+        # Sorted-id order so the migrated keys land on the new shard in
+        # an order independent of shard insertion history.
+        for sid in sorted(self._shards, key=str):
             if sid == shard_id:
                 continue
+            store = self._shards[sid]
             for key in store.keys():
                 owner = self.shard_for(key)
                 if owner != sid:
@@ -171,15 +174,22 @@ class ShardedKVStore:
     # ------------------------------------------------------------------
     # fan-out commands
     # ------------------------------------------------------------------
+    def _sorted_shards(self) -> List[KVStore]:
+        """Shards in sorted-id order: fan-out results must not depend
+        on the order shards happened to be added in (two stores that
+        hold the same data must answer identically)."""
+        return [self._shards[sid]
+                for sid in sorted(self._shards, key=str)]
+
     def keys(self) -> List[str]:
         out: List[str] = []
-        for store in self._shards.values():
+        for store in self._sorted_shards():
             out.extend(store.keys())
         return out
 
     def dbsize(self) -> int:
-        return sum(store.dbsize() for store in self._shards.values())
+        return sum(store.dbsize() for store in self._sorted_shards())
 
     def flushall(self) -> None:
-        for store in self._shards.values():
+        for store in self._sorted_shards():
             store.flushall()

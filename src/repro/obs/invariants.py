@@ -47,11 +47,29 @@ checker                invariant
                        only removed after a ``transfer.ack`` covering
                        its oid (an interrupted transfer must leave
                        entries intact)
+``view-epoch-monotonic``
+                       ``kv.view.commit`` epochs strictly increase and
+                       each commit installs the latest proposal
+``kv-no-acked-write-lost``
+                       no ``kv.audit`` reports a lost acked write, and
+                       no quorum read returns data older than the
+                       newest acked write of its key
+``kv-read-your-writes``
+                       a client's read of a key always reflects that
+                       client's own last acked write of it
+``kv-monotonic-reads``
+                       a client's successive reads of a key never go
+                       backwards in version-vector order
+``kv-replication-factor-restored``
+                       the final ``kv.audit`` reports zero
+                       under-replicated keys (anti-entropy converged)
 ====================== ================================================
 
-The last three are grounded by fault-injection events
-(``chaos.audit`` / ``object.lost`` / ``transfer.*``), so traces from
-fault-free runs pass them vacuously.
+The chaos trio is grounded by fault-injection events (``chaos.audit``
+/ ``object.lost`` / ``transfer.*``) and the kv quintet by the
+replicated store's ``kv.*`` events
+(:mod:`repro.kvstore.replicated`), so traces without those layers
+pass them vacuously.
 """
 
 from __future__ import annotations
@@ -78,6 +96,11 @@ __all__ = [
     "NoLostObjectChecker",
     "ReplicationRestoredChecker",
     "DirtyAckChecker",
+    "ViewEpochMonotonicChecker",
+    "KVNoAckedWriteLostChecker",
+    "KVReadYourWritesChecker",
+    "KVMonotonicReadsChecker",
+    "KVReplicationRestoredChecker",
 ]
 
 #: Event kind separating independent runs inside one merged trace
@@ -427,6 +450,213 @@ class DirtyAckChecker(Checker):
 
 
 # ----------------------------------------------------------------------
+# replicated-KV checkers (kv.* events from repro.kvstore.replicated)
+# ----------------------------------------------------------------------
+def _vv_of(event: TraceEvent) -> Optional[Dict[str, int]]:
+    """The event's version vector, or None when absent/malformed."""
+    vv = event.get("vv")
+    if isinstance(vv, dict) and all(
+            isinstance(k, str) and isinstance(v, int)
+            for k, v in vv.items()):
+        return vv
+    return None
+
+
+def _vv_dominates(a: Dict[str, int], b: Dict[str, int]) -> bool:
+    """a >= b componentwise: *a* reflects every write *b* does."""
+    return all(a.get(node, 0) >= count for node, count in b.items())
+
+
+def _vv_merge(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    out = dict(a)
+    for node, count in b.items():
+        if count > out.get(node, 0):
+            out[node] = count
+    return out
+
+
+class ViewEpochMonotonicChecker(Checker):
+    """Membership views advance through explicit two-step changes:
+    ``kv.view.commit`` epochs strictly increase, and every commit
+    installs the epoch of the latest ``kv.view.propose`` (no commit
+    out of thin air, no stale proposal resurrected).  Traces without
+    view events pass vacuously."""
+
+    name = "view-epoch-monotonic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_commit: Optional[int] = None
+        self._proposed: Optional[int] = None
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        if kind == "kv.view.propose":
+            epoch = event.get("epoch")
+            if isinstance(epoch, int):
+                self._proposed = epoch
+        elif kind == "kv.view.commit":
+            epoch = event.get("epoch")
+            if not isinstance(epoch, int):
+                self.fail(event, index,
+                          f"kv.view.commit without integer epoch: "
+                          f"{event.get('epoch')!r}")
+                return
+            if self._proposed is None:
+                self.fail(event, index,
+                          f"view epoch {epoch} committed without any "
+                          f"proposal")
+            elif epoch != self._proposed:
+                self.fail(event, index,
+                          f"committed epoch {epoch} but the latest "
+                          f"proposal was epoch {self._proposed}")
+            if self._last_commit is not None and epoch <= self._last_commit:
+                self.fail(event, index,
+                          f"view epoch went {self._last_commit} -> "
+                          f"{epoch} (must strictly increase)")
+            self._last_commit = epoch
+            self._proposed = None
+
+
+class KVNoAckedWriteLostChecker(Checker):
+    """An acknowledged write is durable: no ``kv.audit`` may report
+    ``lost_acked > 0``, and no non-degraded ``kv.read`` may return a
+    vector strictly dominated by the newest acked write of its key
+    (a quorum read older than an acked write means the write quorum
+    and read quorum failed to intersect).  Degraded reads are flagged
+    honest-but-weaker and exempt.  Traces without ``kv.*`` events
+    pass vacuously."""
+
+    name = "kv-no-acked-write-lost"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._acked: Dict[str, Dict[str, int]] = {}
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        if kind == "kv.write.ack":
+            key, vv = event.get("key"), _vv_of(event)
+            if isinstance(key, str) and vv is not None:
+                cur = self._acked.get(key)
+                self._acked[key] = _vv_merge(cur, vv) if cur else vv
+        elif kind == "kv.read":
+            if event.get("degraded"):
+                return
+            key, vv = event.get("key"), _vv_of(event)
+            if not isinstance(key, str) or vv is None:
+                return
+            newest = self._acked.get(key)
+            if newest is not None and not _vv_dominates(vv, newest):
+                self.fail(event, index,
+                          f"quorum read of {key!r} returned {vv} older "
+                          f"than the newest acked write {newest}")
+        elif kind == "kv.audit":
+            lost = event.get("lost_acked")
+            if isinstance(lost, int) and lost > 0:
+                self.fail(event, index,
+                          f"audit {event.get('label')!r} found {lost} "
+                          f"acked write(s) on no surviving replica")
+
+
+class KVReadYourWritesChecker(Checker):
+    """Session guarantee #1: a client's read of a key must reflect
+    that client's own last acked write of it — the read's vector
+    dominates the write's.  Applies per ``(client, key)``; anonymous
+    (client-less) operations carry no session and are exempt, as are
+    flagged degraded reads.  Traces without ``kv.*`` events pass
+    vacuously."""
+
+    name = "kv-read-your-writes"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._written: Dict[Tuple[str, str], Dict[str, int]] = {}
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        kind = event.get("kind")
+        client, key = event.get("client"), event.get("key")
+        if not isinstance(client, str) or not isinstance(key, str):
+            return
+        vv = _vv_of(event)
+        if vv is None:
+            return
+        if kind == "kv.write.ack":
+            slot = (client, key)
+            cur = self._written.get(slot)
+            self._written[slot] = _vv_merge(cur, vv) if cur else vv
+        elif kind == "kv.read" and not event.get("degraded"):
+            floor = self._written.get((client, key))
+            if floor is not None and not _vv_dominates(vv, floor):
+                self.fail(event, index,
+                          f"client {client!r} read {key!r} at {vv}, "
+                          f"older than its own acked write {floor}")
+
+
+class KVMonotonicReadsChecker(Checker):
+    """Session guarantee #2: a client's successive reads of a key
+    never move backwards — each read's vector dominates the previous
+    read's.  Degraded reads still advance the floor (the client *saw*
+    that state) but are not themselves judged.  Traces without
+    ``kv.*`` events pass vacuously."""
+
+    name = "kv-monotonic-reads"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen: Dict[Tuple[str, str], Dict[str, int]] = {}
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        if event.get("kind") != "kv.read":
+            return
+        client, key = event.get("client"), event.get("key")
+        if not isinstance(client, str) or not isinstance(key, str):
+            return
+        vv = _vv_of(event)
+        if vv is None:
+            return
+        slot = (client, key)
+        prev = self._seen.get(slot)
+        if (prev is not None and not event.get("degraded")
+                and not _vv_dominates(vv, prev)):
+            self.fail(event, index,
+                      f"client {client!r} re-read {key!r} at {vv} "
+                      f"after having seen {prev} (reads went "
+                      f"backwards)")
+        self._seen[slot] = _vv_merge(prev, vv) if prev else vv
+
+
+class KVReplicationRestoredChecker(Checker):
+    """After repair windows close, anti-entropy must converge: the
+    *final* ``kv.audit`` of the trace has to report zero
+    under-replicated keys.  Mid-run audits may legitimately show
+    repair debt (a crash whose re-replication has not run yet); only
+    failing to ever converge is a violation.  Traces without
+    ``kv.audit`` events pass vacuously."""
+
+    name = "kv-replication-factor-restored"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: Optional[Tuple[int, TraceEvent]] = None
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        if event.get("kind") == "kv.audit":
+            self._last = (index, event)
+
+    def finish(self) -> None:
+        if self._last is None:
+            return
+        index, event = self._last
+        under = event.get("under_replicated")
+        if isinstance(under, int) and under > 0:
+            self.fail(event, index,
+                      f"final kv.audit ({event.get('label')!r}) still "
+                      f"shows {under} under-replicated key(s): the "
+                      f"replication factor was not restored")
+
+
+# ----------------------------------------------------------------------
 # the suite
 # ----------------------------------------------------------------------
 def default_checkers() -> List[Checker]:
@@ -441,6 +671,11 @@ def default_checkers() -> List[Checker]:
         NoLostObjectChecker(),
         ReplicationRestoredChecker(),
         DirtyAckChecker(),
+        ViewEpochMonotonicChecker(),
+        KVNoAckedWriteLostChecker(),
+        KVReadYourWritesChecker(),
+        KVMonotonicReadsChecker(),
+        KVReplicationRestoredChecker(),
     ]
 
 

@@ -1,0 +1,135 @@
+"""The kv-churn harness end to end: black-box scenarios, the seeded
+churn acceptance run, byte-identical replay, and the report."""
+
+import hashlib
+import io
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.kvstore.harness import (
+    SCENARIOS,
+    KVChurnResult,
+    render_kv_churn_report,
+    run_kv_churn,
+    run_scenarios,
+)
+from repro.obs import OBS
+from repro.obs.trace import JSONLSink
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One small seed-7 churn run shared by the assertions below."""
+    return run_kv_churn(seed=7, duration=60.0, churn_every=20.0)
+
+
+class TestScenarios:
+    """CSE138-style black-box suites against the live store."""
+
+    def test_catalog(self):
+        assert set(SCENARIOS) == {"kvs", "view-change", "sharding"}
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_passes(self, name):
+        outcome = SCENARIOS[name](seed=3)
+        assert outcome["ok"], outcome
+
+    def test_run_scenarios_runs_all(self):
+        outcomes = run_scenarios(seed=5)
+        assert [o["name"] for o in outcomes] == sorted(SCENARIOS)
+        assert all(o["ok"] for o in outcomes)
+
+
+class TestAcceptanceScenario:
+    def test_run_ends_healthy(self, result):
+        assert result.violations == []
+        assert result.ok
+
+    def test_faults_fired_and_views_changed(self, result):
+        kinds = [f["kind"] for f in result.faults]
+        assert "crash" in kinds and "repair" in kinds
+        assert result.views_committed >= 2
+        assert result.final_epoch >= result.views_committed
+
+    def test_clients_did_real_work(self, result):
+        assert result.ops_issued > 100
+        assert result.store_stats["writes_acked"] > 0
+        assert result.store_stats["reads"] > 0
+
+    def test_final_audit_restored(self, result):
+        assert result.final_audit["label"] == "final"
+        assert result.final_audit["lost_acked"] == 0
+        assert result.final_audit["under_replicated"] == 0
+
+    def test_checkers_were_attached_and_fed(self, result):
+        assert result.checkers == 14
+        assert result.events_seen > 0
+
+    def test_no_write_was_quarantined(self, result):
+        assert result.quarantined_writes == 0
+
+
+class TestDeterminism:
+    @staticmethod
+    def _traced_digest(seed):
+        OBS.reset()
+        buf = io.StringIO()
+        sink = OBS.bus.attach(JSONLSink(buf))
+        try:
+            run_kv_churn(seed=seed, duration=40.0, churn_every=15.0,
+                         check=False)
+        finally:
+            OBS.bus.detach(sink)
+        return hashlib.sha256(buf.getvalue().encode()).hexdigest()
+
+    def test_same_seed_byte_identical_trace(self):
+        assert self._traced_digest(7) == self._traced_digest(7)
+
+    def test_different_seed_different_trace(self):
+        assert self._traced_digest(7) != self._traced_digest(8)
+
+
+class TestParameterValidation:
+    def test_nodes_must_hold_replicas(self):
+        with pytest.raises(ValueError, match="replicas"):
+            run_kv_churn(nodes=2, replicas=3)
+
+    def test_clients_bound(self):
+        with pytest.raises(ValueError, match="clients"):
+            run_kv_churn(clients=0)
+
+    def test_keys_bound(self):
+        with pytest.raises(ValueError, match="keys"):
+            run_kv_churn(keys=2)
+
+    def test_plan_ranks_validated(self):
+        bad = FaultPlan.generate(1, n=12, duration=30.0, crashes=2)
+        with pytest.raises(ValueError):
+            run_kv_churn(nodes=5, plan=bad)
+
+
+class TestResultAndReport:
+    def test_ok_requires_clean_final_audit(self):
+        base = dict(seed=1, nodes=5, replicas=3, clients=2, duration=10.0)
+        good = KVChurnResult(
+            final_audit={"lost_acked": 0, "under_replicated": 0}, **base)
+        assert good.ok
+        assert not KVChurnResult(**base).ok  # no final audit -> not ok
+        assert not KVChurnResult(
+            final_audit={"lost_acked": 1, "under_replicated": 0},
+            **base).ok
+        assert not KVChurnResult(
+            final_audit={"lost_acked": 0, "under_replicated": 0},
+            quarantined_writes=1, **base).ok
+        assert not KVChurnResult(
+            final_audit={"lost_acked": 0, "under_replicated": 0},
+            violations=["boom"], **base).ok
+
+    def test_report_sections(self, result):
+        report = render_kv_churn_report(result)
+        for heading in ("# kv churn report", "## store counters",
+                        "## fault timeline", "## consistency audits",
+                        "## invariants", "## outcome"):
+            assert heading in report
+        assert "OK" in report

@@ -170,3 +170,92 @@ class TestMembership:
         store.remove_shard("s1")
         for i in range(50):
             assert store.lrange(f"q-{i}", 0, -1) == ["a", "b", "c"]
+
+
+class TestFanOutDeterminism:
+    """Regression: keys()/dbsize()/flushall() and migrations iterate
+    shards in sorted-id order, independent of insertion history."""
+
+    IDS = ["s1", "s2", "s3", "s4"]
+
+    def build(self, order):
+        store = ShardedKVStore([order[0]])
+        for sid in order[1:]:
+            store.add_shard(sid)
+        for i in range(60):
+            store.set(f"k{i}", i)
+            store.rpush(f"l{i}", i, i + 1)
+        return store
+
+    def test_keys_identical_across_insertion_orders(self):
+        a = self.build(self.IDS)
+        b = self.build(list(reversed(self.IDS)))
+        assert a.keys() == b.keys()
+        assert a.dbsize() == b.dbsize() == 120
+
+    def test_keys_order_is_shard_sorted(self, store):
+        for i in range(40):
+            store.set(f"k{i}", i)
+        expected = []
+        for sid in sorted(store.shard_ids, key=str):
+            expected.extend(store.shard(sid).keys())
+        assert store.keys() == expected
+
+    def test_flushall_covers_every_shard(self):
+        store = self.build(list(reversed(self.IDS)))
+        store.flushall()
+        assert store.dbsize() == 0
+        for sid in store.shard_ids:
+            assert store.shard(sid).dbsize() == 0
+
+    def test_migration_audit_order_independent(self):
+        # Same final membership reached through different histories
+        # must land every key on the same shard.
+        a = self.build(self.IDS)
+        b = self.build(list(reversed(self.IDS)))
+        a.add_shard("s9")
+        b.add_shard("s9")
+        for i in range(60):
+            assert a.shard_for(f"k{i}") == b.shard_for(f"k{i}")
+            assert a.get(f"k{i}") == b.get(f"k{i}") == i
+
+
+class TestChurnInterleaving:
+    """Regression: writes interleaved with membership changes — every
+    acked write survives and list order is preserved (mid-migration
+    mutation audit)."""
+
+    def test_writes_between_membership_changes_survive(self):
+        store = ShardedKVStore(["s1", "s2"])
+        expected = {}
+        step = 0
+        for op in ["+s3", "w", "-s1", "w", "+s4", "w", "-s2", "w"]:
+            if op == "w":
+                for _ in range(25):
+                    key = f"k-{step}"
+                    store.set(key, step)
+                    expected[key] = step
+                    store.rpush(f"l-{step % 7}", step)
+                    step += 1
+            elif op.startswith("+"):
+                store.add_shard(op[1:])
+            else:
+                store.remove_shard(op[1:])
+        for key, value in expected.items():
+            assert store.get(key) == value, key
+        # List pushes were strictly increasing: order must be too.
+        for i in range(7):
+            items = store.lrange(f"l-{i}", 0, -1)
+            assert items == sorted(items), f"l-{i}"
+
+    def test_mid_migration_counter_not_double_counted(self):
+        store = ShardedKVStore(["s1", "s2", "s3"])
+        for i in range(30):
+            store.incr(f"c-{i}")
+        store.add_shard("s4")
+        for i in range(30):
+            store.incr(f"c-{i}")
+        store.remove_shard("s2")
+        for i in range(30):
+            assert store.get(f"c-{i}") == 2, f"c-{i}"
+        assert store.dbsize() == 30

@@ -67,6 +67,12 @@ SURFACE = {
         "PlannedTransfer", "TransferJob", "TransferManager",
         "ChaosResult", "run_chaos", "render_chaos_report",
     ],
+    "repro.kvstore": [
+        "KVStore", "WrongTypeError", "ShardedKVStore",
+        "ReplicatedKVStore", "NoQuorumError", "StaleSessionError",
+        "Session", "View", "KVChurnResult", "run_kv_churn",
+        "render_kv_churn_report",
+    ],
     "repro.obs": [
         "OBS", "TraceBus", "JSONLSink", "MetricsRegistry",
         "InvariantSuite", "TraceParseError", "EmptyTraceError",
