@@ -66,6 +66,7 @@ import numpy as np
 from repro.core.elastic import ElasticConsistentHash
 from repro.core.layout import CapacityPlan, EqualWorkLayout
 from repro.faults import FaultPlan, render_chaos_report, run_chaos
+from repro.serving import render_serve_report, run_serve
 from repro.kvstore.harness import render_kv_churn_report, run_kv_churn
 from repro.experiments import (
     run_layout_versions,
@@ -175,6 +176,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "generating it from --seed")
     p.add_argument("--audit-every", type=float, default=10.0,
                    help="seconds between replication audits")
+    _add_obs_flags(p)
+
+    p = sub.add_parser("serve",
+                       help="replay an elastic resize under open- and "
+                            "closed-loop client load with admission "
+                            "control; reports client-perceived "
+                            "p50/p99/p999 and an SLO verdict; exit 1 "
+                            "unless queues stay bounded and the SLO "
+                            "holds")
+    p.add_argument("--seed", type=int, default=7,
+                   help="placement/arrival seed (same seed = "
+                        "byte-identical run)")
+    p.add_argument("--controller", default="adaptive",
+                   choices=["unthrottled", "fixed", "adaptive"],
+                   help="flow-control policy at the front door")
+    p.add_argument("--n", type=int, default=10)
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--off-count", type=int, default=4,
+                   help="servers powered down at --resize-at")
+    p.add_argument("--clients", type=int, default=200,
+                   help="closed-loop clients (one outstanding request "
+                        "each)")
+    p.add_argument("--users", type=int, default=4_000_000,
+                   help="open-loop user population; offered rate is "
+                        "users * per-user-rate requests/s")
+    p.add_argument("--per-user-rate", type=float, default=5e-5,
+                   help="per-user request rate in requests/s")
+    p.add_argument("--write-ratio", type=float, default=0.3)
+    p.add_argument("--duration", type=float, default=180.0)
+    p.add_argument("--resize-at", type=float, default=60.0)
+    p.add_argument("--resize-back-at", type=float, default=120.0)
+    p.add_argument("--slo-p99", type=float, default=3.0,
+                   help="p99 latency SLO in seconds (pooled over both "
+                        "populations)")
     _add_obs_flags(p)
 
     p = sub.add_parser("kvchurn",
@@ -448,6 +483,25 @@ def _cmd_chaos(args):
     return render_chaos_report(result), (0 if result.ok else 1)
 
 
+def _cmd_serve(args):
+    # Returns (report, exit_code): 0 healthy, 1 unbounded queues,
+    # violated invariants, or a missed SLO.
+    try:
+        result = run_serve(seed=args.seed, controller=args.controller,
+                           n=args.n, replicas=args.replicas,
+                           off_count=args.off_count,
+                           clients=args.clients, users=args.users,
+                           per_user_rate=args.per_user_rate,
+                           write_ratio=args.write_ratio,
+                           duration=args.duration,
+                           resize_at=args.resize_at,
+                           resize_back_at=args.resize_back_at,
+                           slo_p99=args.slo_p99)
+    except ValueError as exc:
+        raise SystemExit(f"repro serve: {exc}")
+    return render_serve_report(result), (0 if result.ok else 1)
+
+
 def _cmd_kvchurn(args):
     # Returns (report, exit_code): 0 healthy, 1 degraded or violated.
     plan = None
@@ -658,6 +712,7 @@ _COMMANDS = {
     "agility": _cmd_agility,
     "three-phase": _cmd_three_phase,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "kvchurn": _cmd_kvchurn,
     "fig5": _cmd_fig5,
     "trace": _cmd_trace,

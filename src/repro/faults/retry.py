@@ -64,12 +64,16 @@ class RetryPolicy:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # NaN compares false against everything, so the range checks
+        # below would silently wave a NaN through — demand finiteness
+        # explicitly for every float field.
         if self.base_delay <= 0 or not math.isfinite(self.base_delay):
             raise ValueError("base_delay must be positive and finite")
-        if self.factor < 1.0:
-            raise ValueError("factor must be >= 1")
-        if self.max_delay < self.base_delay:
-            raise ValueError("max_delay must be >= base_delay")
+        if self.factor < 1.0 or not math.isfinite(self.factor):
+            raise ValueError("factor must be >= 1 and finite")
+        if self.max_delay < self.base_delay \
+                or not math.isfinite(self.max_delay):
+            raise ValueError("max_delay must be >= base_delay and finite")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if not 0.0 <= self.jitter < 1.0:
@@ -78,7 +82,13 @@ class RetryPolicy:
     # ------------------------------------------------------------------
     def delay(self, attempt: int, key: str = "") -> float:
         """Seconds to wait before retry number *attempt* (1-based: the
-        delay after the first failed launch is ``delay(1)``)."""
+        delay after the first failed launch is ``delay(1)``).
+
+        With ``d = min(base_delay * factor**(attempt-1), max_delay)``,
+        the result always lands in ``[(1-jitter)*d, d]`` — and hence
+        in ``(0, max_delay]`` — for every valid policy (pinned by the
+        retry tests at the ``jitter=0`` and ``factor=1`` boundaries).
+        """
         if attempt < 1:
             raise ValueError("attempt is 1-based")
         raw = min(self.base_delay * self.factor ** (attempt - 1),

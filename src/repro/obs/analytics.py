@@ -356,6 +356,79 @@ def _flow_latency(events: Sequence[TraceEvent]) -> Dict[str, Dict]:
     return dict(sorted(out.items()))
 
 
+def _serving_entry(latencies: List[float], enqueued: int,
+                   rejected: int) -> Dict:
+    """One population's client-perceived latency summary.  Percentile
+    fields are an honest ``None`` when nothing completed — a trace of
+    enqueues with no completions must not fabricate a latency."""
+    done = sorted(latencies)
+    entry: Dict[str, object] = {
+        "enqueued": enqueued,
+        "completed": len(done),
+        "rejected": rejected,
+    }
+    if done:
+        for label, q in _QUANTILES:
+            entry[label] = _round(percentile(done, q))
+        entry["mean"] = _round(sum(done) / len(done))
+        entry["max"] = _round(done[-1])
+    else:
+        for label, _q in _QUANTILES:
+            entry[label] = None
+        entry["mean"] = None
+        entry["max"] = None
+    return entry
+
+
+def _serving_latency(events: Sequence[TraceEvent]) -> Optional[Dict]:
+    """Client-perceived latency per population from the ``serve.*``
+    event family, or ``None`` when the trace has no serving layer.
+
+    Unlike :func:`_flow_latency` there is no start/end join: a
+    ``serve.complete`` carries its own ``latency`` field (which
+    includes any flow-control backpressure delay — the number the
+    client actually felt, not the number the queue drained in).
+    """
+    per_pop: Dict[str, Dict[str, object]] = {}
+    seen = False
+
+    def bucket(pop: str) -> Dict[str, object]:
+        b = per_pop.get(pop)
+        if b is None:
+            b = {"lat": [], "enqueued": 0, "rejected": 0}
+            per_pop[pop] = b
+        return b
+
+    for ev in events:
+        kind = ev.get("kind")
+        if not isinstance(kind, str) or not kind.startswith("serve."):
+            continue
+        seen = True
+        pop = str(ev.get("pop", "?"))
+        if kind == "serve.enqueue":
+            bucket(pop)["enqueued"] += 1
+        elif kind == "serve.reject":
+            bucket(pop)["rejected"] += 1
+        elif kind == "serve.complete":
+            lat = _num(ev.get("latency"))
+            if lat is not None:
+                bucket(pop)["lat"].append(lat)
+    if not seen:
+        return None
+
+    out: Dict[str, Dict] = {}
+    pooled: List[float] = []
+    enq = rej = 0
+    for pop in sorted(per_pop):
+        b = per_pop[pop]
+        out[pop] = _serving_entry(b["lat"], b["enqueued"], b["rejected"])
+        pooled.extend(b["lat"])
+        enq += b["enqueued"]
+        rej += b["rejected"]
+    out["overall"] = _serving_entry(pooled, enq, rej)
+    return out
+
+
 # ----------------------------------------------------------------------
 # critical paths
 # ----------------------------------------------------------------------
@@ -452,8 +525,9 @@ def build_analytics(events: Sequence[TraceEvent],
     series = _build_series(windowed, bins)
     latency = _flow_latency(windowed)
     paths = _critical_paths(collect_spans(windowed))
+    serving = _serving_latency(windowed)
 
-    return {
+    doc = {
         "kind": ANALYTICS_KIND,
         "version": ANALYTICS_VERSION,
         "source": source,
@@ -474,6 +548,11 @@ def build_analytics(events: Sequence[TraceEvent],
         "latency": latency,
         "critical_paths": paths,
     }
+    if serving is not None:
+        # Additive key: validate_analytics checks required keys only,
+        # so documents from serve-less traces stay byte-identical.
+        doc["serving"] = serving
+    return doc
 
 
 def analytics_from_trace(path: str, bin_seconds: float = 10.0,
@@ -765,6 +844,22 @@ def render_timeline(doc: Dict) -> str:
          "p999 (s)", "max (s)", "intr p99 (s)"], rows,
         title="Flow latency (sojourn, completed flows)"))
     out.append("")
+
+    serving = doc.get("serving")
+    if serving:
+        rows = []
+        for pop, entry in serving.items():
+            rows.append([
+                pop, entry["enqueued"], entry["completed"],
+                entry["rejected"],
+                _fmt(entry["p50"]), _fmt(entry["p99"]),
+                _fmt(entry["p999"]), _fmt(entry["max"]),
+            ])
+        out.append(render_table(
+            ["population", "enq", "done", "rej", "p50 (s)", "p99 (s)",
+             "p999 (s)", "max (s)"], rows,
+            title="Client-perceived serving latency"))
+        out.append("")
 
     origin = float(window.get("origin", 0.0))
     width = float(window["bin_seconds"])

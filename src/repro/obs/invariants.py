@@ -91,6 +91,7 @@ __all__ = [
     "PoweredMoveChecker",
     "DirtyDisciplineChecker",
     "BandwidthCapChecker",
+    "ServeQueueBoundedChecker",
     "FlowAccountingChecker",
     "MachineHourChecker",
     "NoLostObjectChecker",
@@ -269,6 +270,30 @@ class BandwidthCapChecker(Checker):
             self.fail(event, index,
                       f"server {event.get('max_util_rank')} allocated "
                       f"{util:.6f}x its disk capacity in one tick")
+
+
+class ServeQueueBoundedChecker(Checker):
+    """Per-server request queues respect the flow controller's
+    declared bound: every ``serve.queue`` depth sample must be ≤ the
+    ``bound`` it was sampled against.  An unthrottled controller
+    declares a bound it never enforces, which is exactly what this
+    checker flushes out under overload — and why ``repro serve`` with
+    it goes red while the adaptive throttle stays green.  Vacuous on
+    traces with no serving layer."""
+
+    name = "serve-queue-bounded"
+
+    def observe(self, event: TraceEvent, index: int) -> None:
+        if event.get("kind") != "serve.queue":
+            return
+        depth = event.get("depth")
+        bound = event.get("bound")
+        if not isinstance(depth, int) or not isinstance(bound, int):
+            return
+        if depth > bound:
+            self.fail(event, index,
+                      f"server {event.get('server')} queue depth {depth} "
+                      f"exceeds declared bound {bound}")
 
 
 class FlowAccountingChecker(Checker):
@@ -666,6 +691,7 @@ def default_checkers() -> List[Checker]:
         PoweredMoveChecker(),
         DirtyDisciplineChecker(),
         BandwidthCapChecker(),
+        ServeQueueBoundedChecker(),
         FlowAccountingChecker(),
         MachineHourChecker(),
         NoLostObjectChecker(),

@@ -69,8 +69,9 @@ RUN_INFO_FILENAME = "run_info.json"
 PROFILE_ROLLUP_FILENAME = "profile_rollup.json"
 ANALYTICS_ROLLUP_FILENAME = "analytics_rollup.json"
 
-#: Poll interval of the completion loop (wall seconds).
-_POLL_SECONDS = 0.05
+#: Cap on the idle sleep while every task is backing off (wall
+#: seconds) — bounds the worst case should the clock readings jitter.
+_MAX_IDLE_SLEEP = 1.0
 
 
 @dataclass
@@ -297,11 +298,15 @@ class SweepRunner:
                 if not running:
                     # Everything is backing off; sleep to the earliest.
                     wake = min(p[2] for p in pending)
-                    time.sleep(max(0.0, min(wake - now, 1.0)))
+                    time.sleep(max(0.0, min(wake - now,
+                                            _MAX_IDLE_SLEEP)))
                     continue
 
-                done, _ = wait(list(running), timeout=_POLL_SECONDS,
-                               return_when=FIRST_COMPLETED)
+                done, _ = wait(
+                    list(running),
+                    timeout=self._completion_wait_timeout(
+                        pending, running, time.monotonic()),
+                    return_when=FIRST_COMPLETED)
                 pool_broken = False
                 for future in done:
                     spec, attempt, _ = running.pop(future)
@@ -351,6 +356,33 @@ class SweepRunner:
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
         return results, retries
+
+    @staticmethod
+    def _completion_wait_timeout(pending, running, now) -> Optional[float]:
+        """How long the completion wait may block, or ``None`` for
+        "until a future completes".
+
+        The wait used to poll on a fixed 50 ms interval — a busy-spin
+        whenever the pool was saturated with long tasks.  Blocking
+        indefinitely is usually right (only a completion can free a
+        slot), except for two wall-clock commitments that must be able
+        to fire without one:
+
+        * a backed-off retry whose wake time is still in the future —
+          a *due* retry needs a free slot anyway, so it never bounds
+          the wait (waking early for it would be the busy-spin again);
+        * a running task's per-launch deadline (``task_timeout``).
+
+        The bound is the earliest of those, floored at zero.
+        """
+        bounds = [wake for (_spec, _attempt, wake) in pending
+                  if wake > now]
+        bounds.extend(deadline for (_spec, _attempt, deadline)
+                      in running.values()
+                      if deadline != float("inf"))
+        if not bounds:
+            return None
+        return max(0.0, min(bounds) - now)
 
     @staticmethod
     def _recover_outcome(out: Path, spec: TaskSpec, attempt: int

@@ -1,0 +1,46 @@
+"""Front-door serving layer: client populations, admission control,
+and flow control during elastic resizes.
+
+The rest of the repo answers "how fast does the data move?"; this
+package answers the question the paper's users actually feel: *what
+latency does a client see while the cluster is resizing?*  It layers
+three pieces on the existing substrate:
+
+- :mod:`repro.serving.clients` — closed-loop (think-time) and
+  open-loop (arrival-rate) populations; an open-loop population
+  models millions of users via ``users * per_user_rate`` scaling.
+- :mod:`repro.serving.coordinator` — per-server bounded FIFO queues
+  whose drain rate comes from the fluid IO model, so foreground
+  requests and reintegration migration compete for the same disks.
+- :mod:`repro.serving.flowcontrol` — pluggable admission/backpressure
+  policies (unthrottled, fixed concurrency, adaptive queue-length).
+
+:func:`repro.serving.harness.run_serve` ties them together: replay a
+resize under load and report client-perceived p50/p99/p999.
+"""
+
+from repro.serving.clients import ClosedLoopPopulation, OpenLoopPopulation
+from repro.serving.coordinator import AdmissionCoordinator, Request
+from repro.serving.flowcontrol import (
+    AdaptiveQueueController,
+    FixedConcurrencyController,
+    FlowController,
+    UnthrottledController,
+    make_controller,
+)
+from repro.serving.harness import ServeResult, render_serve_report, run_serve
+
+__all__ = [
+    "AdaptiveQueueController",
+    "AdmissionCoordinator",
+    "ClosedLoopPopulation",
+    "FixedConcurrencyController",
+    "FlowController",
+    "OpenLoopPopulation",
+    "Request",
+    "ServeResult",
+    "UnthrottledController",
+    "make_controller",
+    "render_serve_report",
+    "run_serve",
+]

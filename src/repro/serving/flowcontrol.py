@@ -1,0 +1,193 @@
+"""Pluggable flow control for the front-door serving layer.
+
+A :class:`FlowController` makes two decisions per server queue:
+
+- **admission** — may a new request join at the current depth?
+- **backpressure** — how long is the completion *held back* from the
+  client, as a function of depth and whether background work
+  (migration / reintegration / recovery) is active?
+
+Holding back completions is the Scylla-style trick: closed-loop
+clients issue their next request only after the previous one
+completes, so delaying completions in proportion to queue depth slows
+exactly the clients feeding an overloaded server — no global
+coordination, no dropped work.  Open-loop arrivals do not adapt, so
+every controller that promises a bound also needs an admission
+backstop; the unthrottled controller deliberately has neither, which
+is what the ``serve-queue-bounded`` invariant checker flushes out.
+
+Controllers are pure policy: no simulator, no IO model, no state that
+survives a call.  That keeps a same-seed run a pure function of the
+controller's parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Protocol, runtime_checkable
+
+__all__ = [
+    "AdaptiveQueueController",
+    "FixedConcurrencyController",
+    "FlowController",
+    "UnthrottledController",
+    "make_controller",
+]
+
+
+@runtime_checkable
+class FlowController(Protocol):
+    """The policy surface the admission coordinator consumes."""
+
+    #: Short policy name, surfaced in reports and event payloads.
+    name: str
+
+    def queue_bound(self) -> int:
+        """The per-server depth this policy promises to keep.  The
+        ``serve-queue-bounded`` checker compares every observed depth
+        against this — a controller that declares a bound it does not
+        enforce goes red under overload."""
+        ...
+
+    def admit(self, server: Hashable, depth: int) -> bool:
+        """May a request join *server*'s queue at *depth*?"""
+        ...
+
+    def completion_delay(self, server: Hashable, depth: int,
+                         background_active: bool) -> float:
+        """Seconds to hold a completion back from the client, given
+        the post-drain *depth* and whether background byte-moving work
+        is active."""
+        ...
+
+
+@dataclass(frozen=True)
+class UnthrottledController:
+    """No admission control, no backpressure — the baseline.
+
+    It still *declares* a bound (``declared_bound``) so the invariant
+    checker has something to measure it against; under a load the
+    cluster cannot absorb, queues blow straight through it and the
+    checker goes red.  That asymmetry — same declared contract,
+    no enforcement — is the whole point of keeping this policy around.
+    """
+
+    declared_bound: int = 64
+
+    name: str = "unthrottled"
+
+    def queue_bound(self) -> int:
+        return self.declared_bound
+
+    def admit(self, server: Hashable, depth: int) -> bool:
+        return True
+
+    def completion_delay(self, server: Hashable, depth: int,
+                         background_active: bool) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FixedConcurrencyController:
+    """Classic fixed concurrency limit: admit while ``depth < limit``,
+    reject otherwise, never delay completions.
+
+    Enforces its bound exactly, but bluntly — during a resize it sheds
+    closed-loop and open-loop traffic alike instead of slowing the
+    clients that would happily back off.
+    """
+
+    limit: int = 64
+
+    name: str = "fixed"
+
+    def __post_init__(self) -> None:
+        if self.limit < 1:
+            raise ValueError("limit must be >= 1")
+
+    def queue_bound(self) -> int:
+        return self.limit
+
+    def admit(self, server: Hashable, depth: int) -> bool:
+        return depth < self.limit
+
+    def completion_delay(self, server: Hashable, depth: int,
+                         background_active: bool) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class AdaptiveQueueController:
+    """Queue-length-driven backpressure with an admission backstop.
+
+    Below ``target`` depth the controller is invisible.  Above it,
+    completions are held back by ``gain * (depth - target) / target``
+    seconds — scaled up by ``background_factor`` while migration or
+    recovery is eating disk bandwidth, and capped at ``max_delay`` so
+    backpressure never costs more latency than the overload it
+    prevents — so closed-loop clients naturally stretch their issue
+    interval instead of piling on.  The hard ``bound`` only catches
+    what backpressure cannot reach (open-loop arrivals), so under
+    mixed load it sheds less closed-loop work than a fixed
+    concurrency limit at the same bound.
+    """
+
+    bound: int = 64
+    target: int = 8
+    gain: float = 0.1
+    background_factor: float = 2.0
+    max_delay: float = 1.0
+
+    name: str = "adaptive"
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ValueError("bound must be >= 1")
+        if not 1 <= self.target <= self.bound:
+            raise ValueError("target must be in [1, bound]")
+        if self.gain < 0:
+            raise ValueError("gain must be >= 0")
+        if self.background_factor < 1:
+            raise ValueError("background_factor must be >= 1")
+        if self.max_delay <= 0:
+            raise ValueError("max_delay must be > 0")
+
+    def queue_bound(self) -> int:
+        return self.bound
+
+    def admit(self, server: Hashable, depth: int) -> bool:
+        return depth < self.bound
+
+    def completion_delay(self, server: Hashable, depth: int,
+                         background_active: bool) -> float:
+        if depth <= self.target:
+            return 0.0
+        delay = self.gain * (depth - self.target) / self.target
+        if background_active:
+            delay *= self.background_factor
+        return min(delay, self.max_delay)
+
+
+_CONTROLLERS: Dict[str, type] = {
+    "unthrottled": UnthrottledController,
+    "fixed": FixedConcurrencyController,
+    "adaptive": AdaptiveQueueController,
+}
+
+
+def make_controller(kind: str, **kwargs: object) -> FlowController:
+    """Build a controller by policy name (the CLI/bench entry point).
+
+    >>> make_controller("fixed", limit=8).queue_bound()
+    8
+    >>> make_controller("bogus")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown flow controller 'bogus' (choose from: adaptive, fixed, unthrottled)
+    """
+    cls = _CONTROLLERS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown flow controller {kind!r} "
+            f"(choose from: {', '.join(sorted(_CONTROLLERS))})")
+    return cls(**kwargs)

@@ -1,0 +1,366 @@
+"""Replay an elastic resize under front-door load.
+
+:func:`run_serve` stands up the full stack — elastic cluster, fluid
+IO, admission coordinator, one closed-loop and one open-loop
+population — then turns ``off_count`` servers off at ``resize_at``
+and back on at ``resize_back_at``.  Writes issued while the cluster
+is shrunk dirty the metadata table, so the resize-back triggers a
+rate-limited selective reintegration whose migration flow competes
+with foreground serving for the surviving disks.  What the clients
+feel is the report: p50/p99/p999 latency (via the nearest-rank
+percentiles of :mod:`repro.obs.analytics`), rejects, max queue depth
+against the controller's declared bound, and an SLO verdict.
+
+Everything is a pure function of ``(seed, parameters)``: placement,
+jitter, interarrival gaps and retry backoff all come from FNV-1a hash
+streams, so a same-seed run replays byte-identically — the property
+the CI ``serving-smoke`` job pins with a trace checksum.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import ElasticCluster
+from repro.hashring.hashing import hash64
+from repro.obs.analytics import percentile
+from repro.obs.invariants import CheckerSink, InvariantSuite, default_checkers
+from repro.obs.runtime import OBS
+from repro.simulation.engine import Simulator
+from repro.simulation.flows import FluidFlow
+from repro.simulation.iomodel import IOModel
+
+from repro.serving.clients import ClosedLoopPopulation, OpenLoopPopulation
+from repro.serving.coordinator import AdmissionCoordinator, Request
+from repro.serving.flowcontrol import FlowController, make_controller
+
+__all__ = ["ServeResult", "render_serve_report", "run_serve"]
+
+MB = 10 ** 6
+
+
+def latency_stats(values: List[float]) -> Dict[str, Optional[float]]:
+    """Nearest-rank summary of a latency sample; honest ``None`` for
+    every statistic when there are no completions."""
+    if not values:
+        return {"count": 0, "p50": None, "p99": None, "p999": None,
+                "mean": None, "max": None}
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "p50": percentile(ordered, 0.50),
+        "p99": percentile(ordered, 0.99),
+        "p999": percentile(ordered, 0.999),
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+    }
+
+
+@dataclass
+class ServeResult:
+    """Client-perceived outcome of one resize-under-load replay."""
+
+    controller: str
+    seed: int
+    n: int
+    replicas: int
+    off_count: int
+    duration: float
+    resize_at: float
+    resize_back_at: float
+    #: Per-population latency summaries plus a pooled ``overall``.
+    latency: Dict[str, Dict[str, Optional[float]]]
+    enqueued: Dict[str, int]
+    completed: Dict[str, int]
+    rejected: Dict[str, int]
+    closed_retries: int
+    failovers: int
+    outstanding: int              # admitted but unfinished at cutoff
+    max_queue_depth: int
+    queue_bound: int
+    migration_bytes: float
+    served_bytes: float
+    slo_p99: float
+    #: None when there were no completions to judge.
+    slo_met: Optional[bool]
+    violations: List[str] = field(default_factory=list)
+    checkers: int = 0
+    events_seen: int = 0
+
+    @property
+    def bounded(self) -> bool:
+        """Did every observed queue depth respect the declared bound?"""
+        return self.max_queue_depth <= self.queue_bound
+
+    @property
+    def ok(self) -> bool:
+        return (self.bounded and not self.violations
+                and self.slo_met is not False)
+
+
+def run_serve(
+    seed: int = 7,
+    controller: str = "adaptive",
+    n: int = 10,
+    replicas: int = 2,
+    off_count: int = 4,
+    clients: int = 200,
+    think_time: float = 1.0,
+    users: int = 4_000_000,
+    per_user_rate: float = 5e-5,
+    request_bytes: int = 1 * MB,
+    write_ratio: float = 0.3,
+    duration: float = 180.0,
+    dt: float = 0.5,
+    resize_at: float = 60.0,
+    resize_back_at: float = 120.0,
+    disk_bw: float = 64e6,
+    prepopulate: int = 256,
+    selective_rate_limit: float = 50e6,
+    slo_p99: float = 3.0,
+    check: bool = True,
+    controller_kwargs: Optional[dict] = None,
+) -> ServeResult:
+    """Serve a mixed open/closed population across a resize.
+
+    The open-loop population models ``users`` users each issuing
+    ``per_user_rate`` requests/s — millions of users collapse into a
+    single arrival rate, which is how the population scales without
+    per-user state.  ``write_ratio`` of requests are writes, charged
+    ``replicas * request_bytes`` of disk work on their primary and
+    materialised into the catalog on completion (so the shrunken
+    cluster accumulates a real dirty backlog for the resize-back to
+    reintegrate).
+    """
+    if not 0 <= off_count < n:
+        raise ValueError("off_count must be in [0, n)")
+    if n - off_count < replicas:
+        raise ValueError("shrunken cluster cannot hold the replicas")
+    if not 0.0 < resize_at < resize_back_at < duration:
+        raise ValueError("need 0 < resize_at < resize_back_at < duration")
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError("write_ratio must be in [0, 1]")
+
+    ctrl: FlowController = make_controller(
+        controller, **(controller_kwargs or {}))
+    sim = Simulator()
+    cluster = ElasticCluster(n, replicas, disk_bandwidth=disk_bw)
+
+    def capacities() -> Dict[int, float]:
+        table = cluster.ech.membership
+        return {r: disk_bw for r in cluster.servers if table.is_active(r)}
+
+    io = IOModel(capacities, dt,
+                 capacity_token=lambda: cluster.ech.current_version)
+    coord = AdmissionCoordinator(sim, io, ctrl, dt)
+
+    oid_counter = itertools.count(1)
+    state = {"written": 0}
+    for _ in range(prepopulate):
+        cluster.write(next(oid_counter), request_bytes)
+        state["written"] += 1
+
+    # -- request fabrication (placement + disk cost + materialisation) --
+    def _unit_of(key: str) -> float:
+        return (hash64(key) + 0.5) / 2.0 ** 64
+
+    def pick_replica(oid: int, key: str) -> int:
+        servers = cluster.ech.locate(oid).servers
+        return servers[hash64(key + ":replica") % len(servers)]
+
+    def materialise(req: Request, _t: float) -> None:
+        cluster.write(req.oid, request_bytes)
+        state["written"] += 1
+
+    def factory(pop: str, rid: int, key: str) -> Request:
+        is_write = _unit_of(key + ":rw") < write_ratio
+        if is_write:
+            oid = next(oid_counter)
+            server = cluster.ech.locate(oid).servers[0]
+            nbytes = float(replicas * request_bytes)
+            on_complete = materialise
+        else:
+            oid = 1 + hash64(key + ":oid") % max(1, state["written"])
+            server = pick_replica(oid, key)
+            nbytes = float(request_bytes)
+            on_complete = None
+        return Request(rid=rid, pop=pop, oid=oid, is_write=is_write,
+                       server=server, nbytes=nbytes, t_enqueue=sim.now,
+                       on_complete=on_complete)
+
+    closed = ClosedLoopPopulation(
+        sim, coord, factory, clients=clients, think_time=think_time,
+        seed=seed, name="closed")
+    open_pop = OpenLoopPopulation(
+        sim, coord, factory, users=users, per_user_rate=per_user_rate,
+        seed=seed, until=duration, name="open")
+
+    # -- resize actions -------------------------------------------------
+    def relocate(req: Request) -> int:
+        if req.is_write:
+            return cluster.ech.locate(req.oid).servers[0]
+        return pick_replica(req.oid, f"{seed}:failover:{req.rid}")
+
+    def resize_down() -> None:
+        cluster.resize(n - off_count)
+        table = cluster.ech.membership
+        gone = [r for r in cluster.servers if not table.is_active(r)]
+        coord.failover(gone, relocate)
+
+    def resize_up() -> None:
+        cluster.resize(n)
+        cycle = cluster.reintegration_cycle
+        backlog = cluster.selective_backlog_bytes()
+        report = cluster.run_selective_reintegration()
+        volume = max(report.bytes_migrated, backlog)
+        if volume > 0:
+            table = cluster.ech.membership
+            active = [r for r in cluster.servers if table.is_active(r)]
+            io.flows.add(FluidFlow(
+                name="migration",
+                coefficients={r: 1.0 / len(active) for r in active},
+                total_bytes=float(volume),
+                rate_cap=selective_rate_limit,
+            ), parent=cycle)
+
+    sim.schedule_at(resize_at, resize_down)
+    sim.schedule_at(resize_back_at, resize_up)
+
+    # -- run ------------------------------------------------------------
+    checker_sink: Optional[CheckerSink] = None
+    if check:
+        checker_sink = CheckerSink(InvariantSuite(default_checkers()))
+        OBS.bus.attach(checker_sink)
+    run_span = OBS.spans.begin("serve.run", seed=seed, n=n,
+                               controller=ctrl.name)
+    try:
+        closed.start()
+        open_pop.start()
+        ticks = round(duration / dt)
+        for i in range(1, ticks + 1):
+            coord.begin_tick()
+            now = i * dt
+            sim.run_until(now)
+            coord.background_active = bool(io.flows.by_name("migration"))
+            achieved = io.step(now)
+            coord.end_tick(now, achieved)
+        coord.shutdown()
+        run_span.end(status="completed")
+    except BaseException:
+        run_span.end(status="failed")
+        raise
+    finally:
+        if checker_sink is not None:
+            OBS.bus.detach(checker_sink)
+
+    violations: List[str] = []
+    checkers = events_seen = 0
+    if checker_sink is not None:
+        violations = [v.describe() for v in checker_sink.finish()]
+        checkers = len(checker_sink.suite.checkers)
+        events_seen = checker_sink.suite.events_seen
+
+    latency = {pop: latency_stats(vals)
+               for pop, vals in sorted(coord.latencies.items())}
+    pooled: List[float] = []
+    for vals in coord.latencies.values():
+        pooled.extend(vals)
+    latency["overall"] = latency_stats(pooled)
+    p99 = latency["overall"]["p99"]
+    slo_met = None if p99 is None else bool(p99 <= slo_p99)
+
+    return ServeResult(
+        controller=ctrl.name,
+        seed=seed, n=n, replicas=replicas, off_count=off_count,
+        duration=duration, resize_at=resize_at,
+        resize_back_at=resize_back_at,
+        latency=latency,
+        enqueued=dict(sorted(coord.enqueued.items())),
+        completed=dict(sorted(coord.completed.items())),
+        rejected=dict(sorted(coord.rejected.items())),
+        closed_retries=closed.retries,
+        failovers=coord.failovers,
+        outstanding=coord.outstanding,
+        max_queue_depth=coord.max_depth,
+        queue_bound=ctrl.queue_bound(),
+        migration_bytes=io.total_moved("migration"),
+        served_bytes=coord.served_bytes,
+        slo_p99=slo_p99, slo_met=slo_met,
+        violations=violations, checkers=checkers,
+        events_seen=events_seen,
+    )
+
+
+def _fmt_s(v: Optional[float]) -> str:
+    return "n/a" if v is None else f"{v:.3f}s"
+
+
+def render_serve_report(result: ServeResult) -> str:
+    """Human-readable serve report (the ``repro serve`` output)."""
+    lines = [
+        "# serve report",
+        "",
+        f"- controller: {result.controller} "
+        f"(queue bound {result.queue_bound})",
+        f"- cluster: n={result.n} r={result.replicas}, "
+        f"{result.off_count} off at t={result.resize_at:.0f}s, "
+        f"back at t={result.resize_back_at:.0f}s, "
+        f"duration {result.duration:.0f}s (seed {result.seed})",
+        f"- served: {result.served_bytes / MB:.0f} MB foreground, "
+        f"{result.migration_bytes / MB:.0f} MB migration",
+        "",
+        "## client-perceived latency",
+        "",
+        "| population | completed | p50 | p99 | p999 | max |",
+        "|---|---|---|---|---|---|",
+    ]
+    for pop, stats in result.latency.items():
+        lines.append(
+            f"| {pop} | {stats['count']} | {_fmt_s(stats['p50'])} "
+            f"| {_fmt_s(stats['p99'])} | {_fmt_s(stats['p999'])} "
+            f"| {_fmt_s(stats['max'])} |")
+    rejected = sum(result.rejected.values())
+    by_pop = ", ".join(
+        f"{p}={c}" for p, c in result.rejected.items()) or "none"
+    lines += [
+        "",
+        "## flow control",
+        "",
+        f"- max queue depth: {result.max_queue_depth} "
+        f"(bound {result.queue_bound}) — "
+        + ("bounded" if result.bounded else "**EXCEEDED**"),
+        f"- rejected: {rejected} ({by_pop})",
+        f"- closed-loop retries: {result.closed_retries}",
+        f"- failovers on resize: {result.failovers}",
+        f"- outstanding at cutoff: {result.outstanding}",
+        "",
+        "## invariants",
+        "",
+    ]
+    if result.checkers:
+        if result.violations:
+            lines.append(f"{len(result.violations)} violation(s) across "
+                         f"{result.checkers} checkers:")
+            lines += [f"- {v}" for v in result.violations]
+        else:
+            lines.append(f"all {result.checkers} checkers hold over "
+                         f"{result.events_seen} events.")
+    else:
+        lines.append("checkers not attached (check=False).")
+    if result.slo_met is None:
+        slo = "n/a (no completions)"
+    elif result.slo_met:
+        slo = f"met (p99 <= {result.slo_p99:.3f}s)"
+    else:
+        slo = f"MISSED (p99 > {result.slo_p99:.3f}s)"
+    verdict = "OK" if result.ok else "DEGRADED"
+    lines += [
+        "",
+        "## outcome",
+        "",
+        f"- SLO: {slo}",
+        f"- verdict: **{verdict}**",
+    ]
+    return "\n".join(lines)

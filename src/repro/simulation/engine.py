@@ -1,17 +1,24 @@
 """A minimal deterministic discrete-event simulation core.
 
 Nothing storage-specific lives here: just a clock, a priority queue of
-events, cancellation, and a periodic-callback helper.  Determinism is
-guaranteed by a monotonically increasing sequence number that breaks
-ties between events scheduled for the same instant (insertion order
-wins), so simulations are reproducible bit-for-bit regardless of heap
-internals.
+events, cancellation, and a periodic-callback helper.
+
+Determinism contract: events execute in the total order
+``(time, seq)`` where ``seq`` is a monotonically increasing sequence
+number assigned at scheduling.  Two events scheduled for the same
+instant therefore fire in insertion order — documented behaviour, not
+a heap accident — so thousands of clients scheduling same-timestamp
+arrivals and completions replay bit-for-bit regardless of heap
+internals.  Scheduling times must be finite: a NaN compares false
+against everything, which would silently corrupt the heap's ordering,
+so non-finite times are rejected at :meth:`Simulator.schedule_at`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable, List, Optional
 
 from repro.obs.runtime import OBS
@@ -87,7 +94,15 @@ class Simulator:
 
     def schedule_at(self, t: float, fn: Callable[..., Any],
                     *args: Any) -> Event:
-        """Run ``fn(*args)`` at absolute time *t* (>= now)."""
+        """Run ``fn(*args)`` at absolute time *t* (>= now, finite).
+
+        Same-instant events fire in scheduling order — the documented
+        ``(time, seq)`` total order of the module docstring."""
+        if not math.isfinite(t):
+            # NaN would pass the `< now` guard (NaN comparisons are
+            # all false) and then violate the heap's strict weak
+            # ordering — corrupting event order nondeterministically.
+            raise ValueError(f"cannot schedule at non-finite time {t!r}")
         if t < self.now:
             raise ValueError(f"cannot schedule at {t} < now={self.now}")
         ev = Event(t, next(self._seq), fn, args, sim=self)

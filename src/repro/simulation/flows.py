@@ -338,7 +338,13 @@ class FlowSet:
                 "generation": self.generation,
                 "dt": dt,
                 "live": live,
-                "coeffs": [f.coefficients for f in live],
+                # Order-sensitive value snapshot: identity alone cannot
+                # prove freshness — a driver (the serving throttle, a
+                # coefficient refresh) may mutate a coefficient mapping
+                # *in place*, leaving the identity unchanged while the
+                # solve inputs drift.
+                "coeff_items": [list(f.coefficients.items())
+                                for f in live],
                 "caps": [f.rate_cap for f in live],
                 "demands": demands,
                 "rates": rates,
@@ -355,21 +361,24 @@ class FlowSet:
         :meth:`advance`).
 
         Soundness, not heuristics: the cached rates are the exact
-        solver output for inputs (coefficient mappings by identity,
-        rate caps, demands bit-for-bit, membership generation) — when
-        all of those compare equal and the caller vouches for
+        solver output for inputs (coefficient mappings by ordered
+        value, rate caps, demands bit-for-bit, membership generation)
+        — when all of those compare equal and the caller vouches for
         unchanged capacities, the solver would return the identical
         rates, so skipping it cannot change a single sample or trace
-        byte.
+        byte.  Coefficients are compared by *value* (ordered items),
+        not identity: a throttle that mutates a flow's coefficient
+        mapping in place between ticks must invalidate the cache even
+        though the mapping object never changed.
         """
         a = self._alloc
         if a is None or a["generation"] != self.generation or dt != a["dt"]:
             return None
         live: List[FluidFlow] = a["live"]          # type: ignore[assignment]
-        for f, coeffs, cap, dem in zip(live, a["coeffs"], a["caps"],
-                                       a["demands"]):
-            if (f.coefficients is not coeffs or f.rate_cap != cap
-                    or f.demand_for(dt) != dem):
+        for f, items, cap, dem in zip(live, a["coeff_items"], a["caps"],
+                                      a["demands"]):
+            if (f.rate_cap != cap or f.demand_for(dt) != dem
+                    or list(f.coefficients.items()) != items):
                 return None
         bus = OBS.bus
         if bus.active:

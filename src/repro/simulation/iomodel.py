@@ -268,8 +268,11 @@ class IOModel:
         if not unchanged:
             return None
         live = a["live"]
-        for f, coeffs, cap in zip(live, a["coeffs"], a["caps"]):
-            if f.coefficients is not coeffs or f.rate_cap != cap:
+        # Coefficients compare by ordered value, not identity: an
+        # in-place mutation (serving throttle, coefficient refresh)
+        # must cut the batch horizon exactly like a replacement dict.
+        for f, items, cap in zip(live, a["coeff_items"], a["caps"]):
+            if f.rate_cap != cap or list(f.coefficients.items()) != items:
                 return None
 
         # Tick labels by the loop's own recurrence t = min(t+dt, end):

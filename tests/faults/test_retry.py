@@ -44,16 +44,61 @@ class TestExhaustion:
         assert p.exhausted(4)
 
 
+class TestBoundaries:
+    def test_jitter_zero_is_exact(self):
+        # At jitter=0 the interval [(1-jitter)*d, d] collapses to a
+        # point: every delay is exactly the capped exponential.
+        p = RetryPolicy(base_delay=0.25, factor=3.0, max_delay=2.0,
+                        jitter=0.0)
+        assert [p.delay(a, "k") for a in (1, 2, 3, 4)] == \
+            [0.25, 0.75, 2.0, 2.0]
+
+    def test_factor_one_is_constant(self):
+        # factor=1 degenerates to fixed-delay retry; jitter still
+        # shaves off at most its fraction.
+        p = RetryPolicy(base_delay=1.5, factor=1.0, max_delay=1.5,
+                        jitter=0.0)
+        assert [p.delay(a) for a in range(1, 6)] == [1.5] * 5
+        j = RetryPolicy(base_delay=1.5, factor=1.0, max_delay=1.5,
+                        jitter=0.5, seed=9)
+        for a in range(1, 6):
+            assert 0.75 <= j.delay(a, "k") <= 1.5
+
+    @pytest.mark.parametrize("jitter", [0.0, 0.25, 0.999])
+    @pytest.mark.parametrize("factor", [1.0, 2.0, 10.0])
+    def test_delay_always_in_documented_interval(self, jitter, factor):
+        # The delay() contract: for every valid policy and attempt,
+        # the result lands in [(1-jitter)*d, d] and in (0, max_delay].
+        p = RetryPolicy(base_delay=0.5, factor=factor, max_delay=6.0,
+                        jitter=jitter, seed=4)
+        for attempt in range(1, 12):
+            d = min(0.5 * factor ** (attempt - 1), 6.0)
+            got = p.delay(attempt, key=f"t{attempt}")
+            assert (1.0 - jitter) * d <= got <= d
+            assert 0.0 < got <= 6.0
+
+
 class TestValidation:
     @pytest.mark.parametrize("kwargs", [
         {"base_delay": 0.0},
         {"base_delay": float("nan")},
+        {"base_delay": float("inf")},
         {"factor": 0.5},
+        {"factor": float("nan")},
+        {"factor": float("inf")},
         {"max_delay": 0.1},          # < base_delay
+        {"max_delay": float("nan")},
+        {"max_delay": float("inf")},
         {"max_attempts": 0},
         {"jitter": 1.0},
         {"jitter": -0.1},
+        {"jitter": float("nan")},
     ])
     def test_bad_parameters_rejected(self, kwargs):
         with pytest.raises(ValueError):
             RetryPolicy(**kwargs)
+
+    def test_max_delay_equal_to_base_is_allowed(self):
+        p = RetryPolicy(base_delay=2.0, factor=2.0, max_delay=2.0,
+                        jitter=0.0)
+        assert p.delay(5) == 2.0

@@ -57,6 +57,19 @@ class TestPercentile:
         assert percentile([7.0], 0.001) == 7.0
         assert percentile([7.0], 0.999) == 7.0
 
+    def test_n1_every_quantile_is_the_value(self):
+        # rank = max(1, ceil(q*1)) = 1 for every valid q.
+        for q in (0.001, 0.5, 0.99, 0.999, 1.0):
+            assert percentile([3.25], q) == 3.25
+
+    def test_n2_tail_quantiles_pick_the_max(self):
+        # ceil(0.999*2) = 2 -> the larger observation, not an
+        # interpolation between the two.
+        assert percentile([1.0, 9.0], 0.999) == 9.0
+        assert percentile([1.0, 9.0], 0.99) == 9.0
+        # ceil(0.5*2) = 1 -> the smaller one.
+        assert percentile([1.0, 9.0], 0.5) == 1.0
+
 
 class TestSeries:
     def test_bins_anchor_at_origin_not_data(self):
@@ -318,3 +331,64 @@ class TestRenderTimeline:
         assert (json.dumps(a, sort_keys=True)
                 == json.dumps(b, sort_keys=True))
         assert render_timeline(a) == render_timeline(b)
+
+
+class TestServingAnalytics:
+    @staticmethod
+    def serve_events(completions=True):
+        evs = [
+            {"kind": "serve.enqueue", "t": 0.5, "rid": 1, "server": 2,
+             "nbytes": 1e6, "pop": "closed", "depth": 1},
+            {"kind": "serve.enqueue", "t": 0.6, "rid": 2, "server": 2,
+             "nbytes": 1e6, "pop": "open", "depth": 2},
+            {"kind": "serve.reject", "t": 0.7, "rid": 3, "server": 2,
+             "depth": 2, "pop": "open"},
+        ]
+        if completions:
+            evs += [
+                {"kind": "serve.complete", "t": 1.5, "rid": 1,
+                 "server": 2, "pop": "closed", "latency": 1.0,
+                 "delay": 0.0},
+                {"kind": "serve.complete", "t": 2.6, "rid": 2,
+                 "server": 2, "pop": "open", "latency": 2.0,
+                 "delay": 0.5},
+            ]
+        return evs
+
+    def test_per_population_and_pooled_stats(self):
+        doc = build_analytics(self.serve_events())
+        validate_analytics(doc)
+        s = doc["serving"]
+        assert s["closed"]["completed"] == 1
+        assert s["closed"]["p50"] == s["closed"]["p999"] == 1.0
+        assert s["open"]["rejected"] == 1
+        assert s["overall"]["completed"] == 2
+        assert s["overall"]["p50"] == 1.0
+        assert s["overall"]["p99"] == s["overall"]["p999"] == 2.0
+        assert s["overall"]["enqueued"] == 2
+
+    def test_zero_completion_trace_reports_honest_none(self):
+        # Enqueues and rejects but nothing completed: counts are
+        # real, every latency statistic is None — never fabricated.
+        doc = build_analytics(self.serve_events(completions=False))
+        validate_analytics(doc)
+        s = doc["serving"]
+        for pop in ("closed", "open", "overall"):
+            assert s[pop]["completed"] == 0
+            for stat in ("p50", "p99", "p999", "mean", "max"):
+                assert s[pop][stat] is None
+        assert s["open"]["rejected"] == 1
+
+    def test_serve_less_trace_omits_the_key(self):
+        doc = build_analytics(flow(1, 0.0, 3.0))
+        validate_analytics(doc)
+        assert "serving" not in doc
+
+    def test_rendered_in_timeline(self):
+        text = render_timeline(build_analytics(self.serve_events()))
+        assert "Client-perceived serving latency" in text
+        assert "closed" in text and "overall" in text
+
+    def test_timeline_without_serving_section(self):
+        text = render_timeline(build_analytics(flow(1, 0.0, 3.0)))
+        assert "Client-perceived" not in text

@@ -18,8 +18,10 @@ from repro.obs.invariants import (
     PoweredMoveChecker,
     ReplicationRestoredChecker,
     SWEEP_BOUNDARY_KIND,
+    ServeQueueBoundedChecker,
     VersionMonotonicChecker,
     check_events,
+    default_checkers,
 )
 from repro.obs.trace import TraceBus
 
@@ -115,6 +117,51 @@ class TestBandwidthCap:
     def test_legacy_trace_without_field_skipped(self):
         evs = [{"kind": "bandwidth.solve", "t": 0, "flows": 2}]
         assert run_checker(BandwidthCapChecker(), evs) == []
+
+
+class TestServeQueueBounded:
+    def test_depth_within_bound_ok(self):
+        evs = [{"kind": "serve.queue", "t": 1.0, "server": 2,
+                "depth": 64, "bound": 64}]
+        assert run_checker(ServeQueueBoundedChecker(), evs) == []
+
+    def test_depth_over_bound_caught(self):
+        evs = [{"kind": "serve.queue", "t": 1.0, "server": 2,
+                "depth": 65, "bound": 64}]
+        v = run_checker(ServeQueueBoundedChecker(), evs)
+        assert len(v) == 1
+        assert "server 2" in v[0].message and "65" in v[0].message
+
+    def test_bound_is_per_sample_not_global(self):
+        # The bound travels with each sample, so a trace mixing
+        # controllers judges each sample against its own contract.
+        evs = [{"kind": "serve.queue", "t": 1.0, "server": 1,
+                "depth": 10, "bound": 8},
+               {"kind": "serve.queue", "t": 2.0, "server": 1,
+                "depth": 10, "bound": 64}]
+        v = run_checker(ServeQueueBoundedChecker(), evs)
+        assert len(v) == 1 and v[0].index == 1
+
+    def test_vacuous_without_serve_events(self):
+        evs = [{"kind": "flow.start", "t": 0.0, "span_id": 1,
+                "name": "client"}]
+        checker = ServeQueueBoundedChecker()
+        assert run_checker(checker, evs) == []
+        assert checker.ok
+
+    def test_malformed_sample_skipped(self):
+        evs = [{"kind": "serve.queue", "t": 0.0, "server": 1,
+                "depth": "deep", "bound": 4}]
+        assert run_checker(ServeQueueBoundedChecker(), evs) == []
+
+    def test_in_default_suite_and_reconstructible(self):
+        # The sweep boundary logic re-instantiates checkers by type —
+        # every default checker must be no-arg constructible.
+        suite = default_checkers()
+        assert any(isinstance(c, ServeQueueBoundedChecker)
+                   for c in suite)
+        for c in suite:
+            type(c)()
 
 
 class TestFlowAccounting:

@@ -311,3 +311,63 @@ class TestProfiledSweep:
     def test_unprofiled_sweep_has_no_rollup(self, two_sweeps):
         r1, _ = two_sweeps
         assert r1.profile_rollup_path is None
+
+
+class TestCompletionWaitTimeout:
+    """The launch loop's wait bound: block indefinitely when only a
+    completion can change the world, wake exactly for future retry
+    backoffs and per-launch deadlines, and never busy-spin on retries
+    that are already due (they need a completion to free a slot
+    anyway)."""
+
+    wait = staticmethod(SweepRunner._completion_wait_timeout)
+
+    def test_unbounded_when_nothing_is_scheduled(self):
+        running = {object(): ("spec", 1, float("inf"))}
+        assert self.wait([], running, now=100.0) is None
+
+    def test_due_pending_does_not_bound_the_wait(self):
+        # A retry whose wake time already passed cannot launch until a
+        # slot frees; bounding the wait on it would be a busy-spin.
+        pending = [("spec", 2, 99.0)]
+        running = {object(): ("spec", 1, float("inf"))}
+        assert self.wait(pending, running, now=100.0) is None
+
+    def test_future_wake_bounds_the_wait(self):
+        pending = [("a", 2, 103.5), ("b", 2, 101.25)]
+        running = {object(): ("spec", 1, float("inf"))}
+        assert self.wait(pending, running, now=100.0) == 1.25
+
+    def test_finite_deadline_bounds_the_wait(self):
+        running = {object(): ("spec", 1, 102.0),
+                   object(): ("spec", 1, float("inf"))}
+        assert self.wait([], running, now=100.0) == 2.0
+
+    def test_earliest_of_wakes_and_deadlines_wins(self):
+        pending = [("a", 2, 105.0)]
+        running = {object(): ("spec", 1, 101.5)}
+        assert self.wait(pending, running, now=100.0) == 1.5
+
+    def test_elapsed_deadline_clamps_to_zero(self):
+        running = {object(): ("spec", 1, 99.0)}
+        assert self.wait([], running, now=100.0) == 0.0
+
+
+class TestSaturatedPoolBackoff:
+    def test_backoff_retry_interleaves_with_saturated_pool(self, tmp_path):
+        """workers=1: while the slow sibling owns the only slot, the
+        flaky task's backed-off retry must still launch and succeed
+        once the slot frees — the bounded wait may not stall it."""
+        specs = [
+            TaskSpec(task_id="slow", kind="selftest", seed=1,
+                     config={"delay": 0.3}),
+            TaskSpec(task_id="flaky", kind="selftest", seed=2,
+                     config={"fail_attempts": 2, "mode": "raise"}),
+        ]
+        result = SweepRunner(
+            workers=1,
+            retry=RetryPolicy(base_delay=0.02, max_delay=0.05,
+                              max_attempts=4)).run(specs, tmp_path)
+        assert result.ok
+        assert result.task("flaky").attempts == 3
+        assert result.task("slow").attempts == 1

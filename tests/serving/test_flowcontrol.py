@@ -1,0 +1,110 @@
+"""Flow-control policies: admission, backpressure shape, validation."""
+
+import pytest
+
+from repro.serving.flowcontrol import (
+    AdaptiveQueueController,
+    FixedConcurrencyController,
+    FlowController,
+    UnthrottledController,
+    make_controller,
+)
+
+
+class TestUnthrottled:
+    def test_admits_at_any_depth(self):
+        c = UnthrottledController(declared_bound=4)
+        assert c.admit(1, 0) and c.admit(1, 4) and c.admit(1, 10_000)
+
+    def test_never_delays(self):
+        c = UnthrottledController()
+        assert c.completion_delay(1, 500, True) == 0.0
+
+    def test_declares_a_bound_it_does_not_enforce(self):
+        # The asymmetry the serve-queue-bounded checker exploits.
+        c = UnthrottledController(declared_bound=8)
+        assert c.queue_bound() == 8
+        assert c.admit(1, 9)
+
+
+class TestFixedConcurrency:
+    def test_admits_strictly_below_limit(self):
+        c = FixedConcurrencyController(limit=3)
+        assert c.admit(1, 2)
+        assert not c.admit(1, 3)
+        assert not c.admit(1, 4)
+
+    def test_bound_equals_limit(self):
+        assert FixedConcurrencyController(limit=7).queue_bound() == 7
+
+    def test_never_delays(self):
+        c = FixedConcurrencyController(limit=3)
+        assert c.completion_delay(1, 2, True) == 0.0
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FixedConcurrencyController(limit=0)
+
+
+class TestAdaptive:
+    def test_invisible_at_or_below_target(self):
+        c = AdaptiveQueueController(bound=64, target=8)
+        assert c.completion_delay(1, 8, False) == 0.0
+        assert c.completion_delay(1, 0, True) == 0.0
+
+    def test_delay_grows_with_depth(self):
+        c = AdaptiveQueueController(bound=64, target=8, gain=0.1,
+                                    max_delay=10.0)
+        d16 = c.completion_delay(1, 16, False)
+        d32 = c.completion_delay(1, 32, False)
+        assert 0.0 < d16 < d32
+        assert d16 == pytest.approx(0.1 * (16 - 8) / 8)
+
+    def test_background_scales_the_delay(self):
+        c = AdaptiveQueueController(bound=64, target=8, gain=0.1,
+                                    background_factor=2.0, max_delay=10.0)
+        quiet = c.completion_delay(1, 24, False)
+        busy = c.completion_delay(1, 24, True)
+        assert busy == pytest.approx(2.0 * quiet)
+
+    def test_delay_capped(self):
+        c = AdaptiveQueueController(bound=64, target=1, gain=5.0,
+                                    max_delay=1.5)
+        assert c.completion_delay(1, 64, True) == 1.5
+
+    def test_admission_backstop_at_bound(self):
+        c = AdaptiveQueueController(bound=16, target=4)
+        assert c.admit(1, 15)
+        assert not c.admit(1, 16)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"bound": 0},
+        {"target": 0},
+        {"bound": 8, "target": 9},
+        {"gain": -0.1},
+        {"background_factor": 0.5},
+        {"max_delay": 0.0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveQueueController(**kwargs)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind, cls", [
+        ("unthrottled", UnthrottledController),
+        ("fixed", FixedConcurrencyController),
+        ("adaptive", AdaptiveQueueController),
+    ])
+    def test_builds_each_policy(self, kind, cls):
+        c = make_controller(kind)
+        assert isinstance(c, cls)
+        assert isinstance(c, FlowController)
+        assert c.name == kind
+
+    def test_kwargs_forwarded(self):
+        assert make_controller("fixed", limit=5).queue_bound() == 5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown flow controller"):
+            make_controller("bogus")

@@ -1,0 +1,141 @@
+"""run_serve: determinism, flow-control outcomes, SLO verdicts.
+
+The configs here are deliberately small (tens of seconds, tens of
+clients) so the whole file runs in a few seconds; the CI
+``serving-smoke`` job exercises the full default scale.
+"""
+
+import hashlib
+import io
+
+import pytest
+
+from repro.obs.runtime import OBS
+from repro.obs.trace import JSONLSink
+from repro.serving import render_serve_report, run_serve
+
+#: Small but genuinely contended: 6 servers with 2 off leaves little
+#: headroom, so the resize window pressures the queues.
+SMALL = dict(seed=11, n=6, off_count=2, clients=40, users=400_000,
+             duration=30.0, resize_at=10.0, resize_back_at=20.0)
+
+#: Overloaded during the shrink window: enough open-loop arrival rate
+#: that an unenforced bound is guaranteed to blow through.
+OVERLOAD = dict(seed=7, n=6, off_count=3, clients=120, users=2_500_000,
+                duration=40.0, resize_at=10.0, resize_back_at=30.0)
+
+
+def traced_digest(**kwargs):
+    OBS.reset()
+    buf = io.StringIO()
+    sink = JSONLSink(buf)
+    OBS.bus.attach(sink)
+    try:
+        run_serve(**kwargs)
+    finally:
+        OBS.bus.detach(sink)
+        OBS.reset()
+    return hashlib.sha256(buf.getvalue().encode()).hexdigest()
+
+
+class TestDeterminism:
+    def test_same_seed_traces_byte_identical(self):
+        a = traced_digest(controller="adaptive", **SMALL)
+        b = traced_digest(controller="adaptive", **SMALL)
+        assert a == b
+
+    def test_seed_changes_the_trace(self):
+        base = dict(SMALL)
+        base.pop("seed")
+        a = traced_digest(seed=11, **base)
+        b = traced_digest(seed=12, **base)
+        assert a != b
+
+    def test_closed_loop_only_byte_identical(self):
+        # users=1 at a vanishing rate: the first open-loop arrival
+        # lands far past the horizon, leaving pure closed-loop load.
+        cfg = dict(SMALL, users=1, per_user_rate=1e-12)
+        assert (traced_digest(controller="adaptive", **cfg)
+                == traced_digest(controller="adaptive", **cfg))
+
+    def test_open_loop_only_byte_identical(self):
+        cfg = dict(SMALL, clients=1, think_time=1e6)
+        assert (traced_digest(controller="adaptive", **cfg)
+                == traced_digest(controller="adaptive", **cfg))
+
+
+class TestFlowControlOutcomes:
+    @pytest.fixture(scope="class")
+    def overloaded(self):
+        OBS.reset()
+        out = {ctrl: run_serve(controller=ctrl, **OVERLOAD)
+               for ctrl in ("unthrottled", "adaptive", "fixed")}
+        OBS.reset()
+        return out
+
+    def test_unthrottled_blows_its_declared_bound(self, overloaded):
+        r = overloaded["unthrottled"]
+        assert not r.bounded
+        assert r.max_queue_depth > r.queue_bound
+        assert any("serve-queue-bounded" in v for v in r.violations)
+        assert not r.ok
+
+    def test_adaptive_keeps_the_bound_checker_green(self, overloaded):
+        r = overloaded["adaptive"]
+        assert r.bounded
+        assert not any("serve-queue-bounded" in v for v in r.violations)
+
+    def test_fixed_keeps_the_bound(self, overloaded):
+        assert overloaded["fixed"].bounded
+
+    def test_adaptive_slows_closed_loop_instead_of_shedding(
+            self, overloaded):
+        # Backpressure substitutes delay for rejection: the adaptive
+        # policy sheds less than the fixed limit at the same bound.
+        rej_adaptive = sum(overloaded["adaptive"].rejected.values())
+        rej_fixed = sum(overloaded["fixed"].rejected.values())
+        assert rej_adaptive < rej_fixed
+
+    def test_latency_surfaced_per_population_and_pooled(self, overloaded):
+        r = overloaded["adaptive"]
+        for pop in ("closed", "open", "overall"):
+            stats = r.latency[pop]
+            assert stats["count"] > 0
+            assert 0.0 < stats["p50"] <= stats["p99"] <= stats["p999"]
+
+
+class TestReportAndVerdicts:
+    def test_report_sections(self):
+        OBS.reset()
+        r = run_serve(controller="adaptive", **SMALL)
+        OBS.reset()
+        text = render_serve_report(r)
+        for needle in ("# serve report", "client-perceived latency",
+                       "flow control", "invariants", "outcome",
+                       "p999"):
+            assert needle in text
+
+    def test_missed_slo_flips_verdict(self):
+        OBS.reset()
+        r = run_serve(controller="adaptive", slo_p99=1e-9, **SMALL)
+        OBS.reset()
+        assert r.slo_met is False and not r.ok
+        assert "MISSED" in render_serve_report(r)
+
+    def test_migration_competes_during_resize_back(self):
+        OBS.reset()
+        r = run_serve(controller="adaptive", **SMALL)
+        OBS.reset()
+        assert r.migration_bytes > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"off_count": 6},                     # nothing left
+        {"off_count": 5},                     # cannot hold replicas
+        {"resize_at": 25.0},                  # after resize_back_at
+        {"write_ratio": 1.5},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        cfg = dict(SMALL, n=6)
+        cfg.update(kwargs)
+        with pytest.raises(ValueError):
+            run_serve(**cfg)

@@ -185,6 +185,54 @@ class TestCacheInvalidation:
         _, vals = io_model.series("c")
         assert vals == [100.0, 50.0, 100.0]
 
+    def test_in_place_coefficient_mutation_invalidates(self, monkeypatch):
+        # A driver may mutate the coefficient mapping *in place*
+        # (identity unchanged).  The cached fast path compares by
+        # ordered value, so the next step must re-solve.
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "1")
+        io_model = IOModel(lambda: {"a": 100.0}, dt=1.0)
+        coeffs = {"a": 1.0}
+        io_model.flows.add(FluidFlow("c", coeffs))
+        io_model.step(1.0)
+        io_model.step(2.0)          # cached fast path engages
+        coeffs["a"] = 2.0           # same dict object, new value
+        io_model.step(3.0)
+        _, vals = io_model.series("c")
+        assert vals == [100.0, 100.0, 50.0]
+
+    def test_in_place_mutation_cuts_batch_horizon(self, monkeypatch):
+        # Same property through the vectorised _run_batch path: a
+        # mutation between run() segments must cut the horizon, not
+        # ride a stale allocation.
+        monkeypatch.setenv("REPRO_BATCH_TICKS", "1")
+        io_model = IOModel(lambda: {"a": 100.0}, dt=1.0)
+        coeffs = {"a": 1.0}
+        io_model.flows.add(FluidFlow("c", coeffs))
+        io_model.run(5.0)
+        coeffs["a"] = 4.0
+        io_model.run(5.0, start=5.0)
+        _, vals = io_model.series("c")
+        assert vals == [100.0] * 5 + [25.0] * 5
+
+    def test_demand_change_mid_stretch_differs_from_stale_cache(
+            self, monkeypatch):
+        # The regression the serving throttle flushed out: a demand
+        # (rate_cap) change mid-stretch must produce the same rates
+        # the never-cached path computes — i.e. genuinely different
+        # from what replaying the stale allocation would give.
+        def run(batch):
+            monkeypatch.setenv("REPRO_BATCH_TICKS", "1" if batch else "0")
+            io_model = IOModel(lambda: {"a": 100.0}, dt=1.0)
+            f = io_model.flows.add(FluidFlow("c", {"a": 1.0}))
+            io_model.run(4.0)
+            f.rate_cap = 30.0       # throttled mid-stretch
+            io_model.run(4.0, start=4.0)
+            return io_model.series("c")[1]
+
+        cached = run(batch=True)
+        fresh = run(batch=False)
+        assert cached == fresh == [100.0] * 4 + [30.0] * 4
+
     def test_retired_by_total_bytes_clamp(self, monkeypatch):
         # The original-CH driver retires a flow by setting
         # total_bytes = progressed; the next tick must notice despite

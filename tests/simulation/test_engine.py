@@ -127,3 +127,62 @@ class TestPeriodic:
     def test_bad_interval_rejected(self):
         with pytest.raises(ValueError):
             Simulator().every(0, lambda: None)
+
+
+class TestFiniteTimes:
+    """NaN compares false against everything, so an unguarded NaN
+    timestamp would sail past the `< now` check and then violate the
+    heap's strict weak ordering — silently, nondeterministically."""
+
+    def test_nan_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="non-finite"):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="non-finite"):
+            sim.schedule(float("nan"), lambda: None)
+
+    @pytest.mark.parametrize("t", [float("inf"), float("-inf")])
+    def test_infinite_time_rejected(self, t):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_at(t, lambda: None)
+
+    def test_rejected_event_leaves_no_residue(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_at(float("nan"), lambda: None)
+        assert sim.pending == 0
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+
+
+class TestTieBreakAtScale:
+    """The documented (time, seq) total order: thousands of
+    same-instant events — the shape a large client population
+    produces every tick — fire exactly in scheduling order."""
+
+    def test_same_instant_insertion_order_5000_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5000):
+            sim.schedule_at(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(5000))
+
+    def test_interleaved_instants_totally_ordered(self):
+        # Events at mixed times, many collisions per instant: within
+        # an instant the sequence number (scheduling order) decides.
+        sim = Simulator()
+        fired = []
+        expect = {}
+        for i in range(3000):
+            t = float(i % 7)
+            sim.schedule_at(t, fired.append, (t, i))
+            expect.setdefault(t, []).append((t, i))
+        sim.run()
+        want = [item for t in sorted(expect) for item in expect[t]]
+        assert fired == want

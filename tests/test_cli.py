@@ -87,6 +87,34 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["three-phase", "--mode", "bogus"])
 
+    SERVE_SMALL = ["--seed", "11", "--n", "6", "--off-count", "2",
+                   "--clients", "40", "--users", "400000",
+                   "--duration", "30", "--resize-at", "10",
+                   "--resize-back-at", "20"]
+
+    def test_serve(self, capsys):
+        assert main(["serve", *self.SERVE_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "# serve report" in out
+        assert "## client-perceived latency" in out
+        assert "p999" in out
+        assert "verdict: **OK**" in out
+
+    def test_serve_missed_slo_exits_1(self, capsys):
+        assert main(["serve", *self.SERVE_SMALL,
+                     "--slo-p99", "1e-9"]) == 1
+        out = capsys.readouterr().out
+        assert "MISSED" in out
+        assert "verdict: **DEGRADED**" in out
+
+    def test_serve_bad_parameters_are_clean_error(self):
+        with pytest.raises(SystemExit, match="repro serve"):
+            main(["serve", "--n", "6", "--off-count", "6"])
+
+    def test_serve_unknown_controller_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--controller", "bogus"])
+
 
 class TestObservabilityFlags:
     def test_trace_out_writes_parseable_jsonl(self, tmp_path, capsys):

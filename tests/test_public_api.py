@@ -73,6 +73,13 @@ SURFACE = {
         "Session", "View", "KVChurnResult", "run_kv_churn",
         "render_kv_churn_report",
     ],
+    "repro.serving": [
+        "FlowController", "UnthrottledController",
+        "FixedConcurrencyController", "AdaptiveQueueController",
+        "make_controller", "Request", "AdmissionCoordinator",
+        "ClosedLoopPopulation", "OpenLoopPopulation",
+        "ServeResult", "run_serve", "render_serve_report",
+    ],
     "repro.obs": [
         "OBS", "TraceBus", "JSONLSink", "MetricsRegistry",
         "InvariantSuite", "TraceParseError", "EmptyTraceError",
